@@ -1,0 +1,55 @@
+"""Figure 15: the subnet table's prefix-length distribution.
+
+The paper plots, on a log scale, how many of the 1.1M WHOIS-derived
+subnets have each prefix length, against the ``2^length`` maximum, with
+spikes at the classful /8, /16 and /24 boundaries.  This bench
+regenerates the (scaled) distribution from the synthetic WHOIS table
+and verifies its structural properties: full coverage, a wide length
+range, and locally-elevated classful spikes.
+"""
+
+import numpy as np
+
+from repro.data import generate_subnet_table, prefix_length_distribution
+
+from workloads import figure_workload, format_table, save_series
+
+
+def test_fig15_distribution(benchmark):
+    wl = figure_workload()
+    table = wl.table
+    height = table.domain.height
+
+    def construct():
+        return generate_subnet_table(table.domain, seed=11)
+
+    benchmark.pedantic(construct, rounds=1, iterations=1)
+
+    dist = prefix_length_distribution(table)
+    header = ["prefix_length", "num_subnets", "max_possible"]
+    rows = [
+        [d, dist.get(d, 0), 2 ** d] for d in range(min(dist), height + 1)
+    ]
+    save_series("fig15_prefix_lengths.csv", header, rows)
+    print("\nfig15 (subnet prefix-length distribution)")
+    print(format_table(header, rows))
+
+    # Structural claims of Figure 15 at our scale:
+    assert table.covers_domain()
+    assert dist.get(height, 0) >= 1          # single-identifier subnets
+    assert min(dist) <= height // 3          # short, wide allocations
+    # same scaled classful depths the generator boosts
+    for spike in sorted({round(height * f) for f in (0.25, 0.5, 0.75)}):
+        neighbors = max(dist.get(spike - 1, 0), dist.get(spike + 1, 0))
+        assert dist.get(spike, 0) > neighbors, f"no spike at /{spike}"
+    # nothing exceeds the 2^length ceiling
+    for d, n in dist.items():
+        assert n <= 2 ** d
+
+
+if __name__ == "__main__":
+    wl = figure_workload()
+    dist = prefix_length_distribution(wl.table)
+    height = wl.table.domain.height
+    rows = [[d, dist.get(d, 0), 2 ** d] for d in range(min(dist), height + 1)]
+    print(format_table(["prefix_length", "num_subnets", "max_possible"], rows))

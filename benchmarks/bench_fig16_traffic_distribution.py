@@ -1,0 +1,61 @@
+"""Figure 16: the distribution of trace traffic by source subnet.
+
+The paper plots per-subnet packet counts on a log scale: traffic is
+concentrated in a small number of subnets spread across the address
+space, with most subnets silent.  This bench regenerates the (scaled)
+series and verifies the concentration and sparsity structure.
+"""
+
+import numpy as np
+
+from repro.data import TrafficModel, generate_trace
+
+from workloads import figure_workload, format_table, save_series
+
+
+def test_fig16_distribution(benchmark):
+    wl = figure_workload()
+    counts = wl.counts
+
+    def regenerate():
+        return generate_trace(
+            wl.table, 200_000, seed=12, model=TrafficModel()
+        )
+
+    benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    nonzero = counts[counts > 0]
+    order = np.sort(nonzero)[::-1]
+    total = counts.sum()
+    header = ["statistic", "value"]
+    rows = [
+        ["groups_total", wl.num_groups],
+        ["groups_nonzero", wl.num_nonzero],
+        ["packets_total", int(total)],
+        ["max_subnet_count", int(order[0])],
+        ["median_nonzero_count", float(np.median(nonzero))],
+        ["top_1pct_share", float(order[: max(1, len(order) // 100)].sum() / total)],
+        ["top_10pct_share", float(order[: max(1, len(order) // 10)].sum() / total)],
+    ]
+    save_series("fig16_traffic_distribution.csv", header, rows)
+    # the log-scale per-subnet series itself (what Figure 16 plots)
+    series_rows = [
+        [int(i), int(counts[i])] for i in np.nonzero(counts > 0)[0]
+    ]
+    save_series("fig16_series.csv", ["group_index", "packets"], series_rows)
+    print("\nfig16 (traffic by source subnet)")
+    print(format_table(header, rows))
+
+    # Structural claims of Figure 16 at our scale:
+    assert wl.num_nonzero < wl.num_groups * 0.5    # most subnets silent
+    assert order[0] / total > 0.01                 # dominant heavy hitters
+    assert float(order[: max(1, len(order) // 10)].sum() / total) > 0.5
+    # dynamic range spans orders of magnitude (log-scale plot)
+    assert order[0] / order[-1] >= 100
+
+
+if __name__ == "__main__":
+    wl = figure_workload()
+    nz = wl.counts[wl.counts > 0]
+    print(f"{wl.num_nonzero}/{wl.num_groups} subnets active; "
+          f"max={nz.max():.0f} median={np.median(nz):.0f}")

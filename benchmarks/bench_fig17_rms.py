@@ -1,0 +1,43 @@
+"""Figure 17: RMS error vs. number of buckets for all six histogram
+types.
+
+Paper claim (Section 5.1.1): longest-prefix-match histograms from the
+greedy heuristic win — they isolate the outlier groups RMS emphasizes
+inside nested partitions; the quantized heuristic lands mid-pack.
+"""
+
+from repro.algorithms import OverlappingDP, build_lpm_greedy
+
+from figlib import figure_series, report_figure
+from workloads import BUDGETS, figure_workload, metric_for
+
+METRIC = "rms"
+
+
+def test_fig17_series(benchmark):
+    """Reproduce the Figure 17 series; times the winning construction
+    (greedy longest-prefix-match at the full budget)."""
+    wl = figure_workload()
+    metric = metric_for(METRIC, wl)
+    b_max = max(BUDGETS)
+
+    def construct():
+        dp = OverlappingDP(wl.hierarchy, metric, b_max)
+        return build_lpm_greedy(
+            wl.hierarchy, metric, b_max, dp=dp, curve_budgets=BUDGETS
+        )
+
+    benchmark.pedantic(construct, rounds=1, iterations=1)
+    report_figure("fig17", METRIC)
+    series = figure_series(METRIC)
+    # Shape checks mirroring the paper's qualitative findings.
+    for s, curve in series.items():
+        assert curve[max(BUDGETS)] <= curve[min(BUDGETS)] + 1e-9, s
+    mid = 50
+    assert series["greedy"][mid] <= series["nonoverlapping"][mid]
+    assert series["greedy"][mid] <= series["end_biased"][mid]
+    assert series["overlapping"][mid] <= series["nonoverlapping"][mid]
+
+
+if __name__ == "__main__":
+    report_figure("fig17", METRIC)

@@ -1,0 +1,35 @@
+"""Figure 18: average (mean absolute) error vs. number of buckets.
+
+Paper claim (Section 5.1.2): the greedy heuristic again produces the
+lowest error, with V-Optimal and the quantized heuristic close behind;
+the gap to nonoverlapping and end-biased histograms stays wide.
+"""
+
+from repro.algorithms import OverlappingDP, build_overlapping
+
+from figlib import figure_series, report_figure
+from workloads import BUDGETS, figure_workload, metric_for
+
+METRIC = "average"
+
+
+def test_fig18_series(benchmark):
+    wl = figure_workload()
+    metric = metric_for(METRIC, wl)
+    b_max = max(BUDGETS)
+
+    def construct():
+        return build_overlapping(wl.hierarchy, metric, b_max)
+
+    benchmark.pedantic(construct, rounds=1, iterations=1)
+    report_figure("fig18", METRIC)
+    series = figure_series(METRIC)
+    for s, curve in series.items():
+        assert curve[max(BUDGETS)] <= curve[min(BUDGETS)] + 1e-9, s
+    mid = 50
+    assert series["greedy"][mid] <= series["nonoverlapping"][mid]
+    assert series["greedy"][mid] <= series["end_biased"][mid]
+
+
+if __name__ == "__main__":
+    report_figure("fig18", METRIC)

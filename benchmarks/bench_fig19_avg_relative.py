@@ -1,0 +1,41 @@
+"""Figure 19: average relative error vs. number of buckets.
+
+Paper claim (Section 5.1.3): relative error emphasizes low-count
+groups; the quantized heuristic's logarithmic counters track them best,
+V-Optimal is strong at small budgets but falls behind as buckets grow,
+and longest-prefix-match histograms clearly beat the others.
+"""
+
+from repro.algorithms import build_lpm_quantized
+
+from figlib import figure_series, report_figure
+from workloads import (QUANTIZED_BEAM, QUANTIZED_BUDGETS,
+                       QUANTIZED_THETA, figure_workload, metric_for)
+
+METRIC = "avg_relative"
+
+
+def test_fig19_series(benchmark):
+    wl = figure_workload()
+    metric = metric_for(METRIC, wl)
+
+    def construct():
+        return build_lpm_quantized(
+            wl.hierarchy, metric, max(QUANTIZED_BUDGETS),
+            theta=QUANTIZED_THETA, beam=QUANTIZED_BEAM,
+            curve_budgets=QUANTIZED_BUDGETS,
+        )
+
+    benchmark.pedantic(construct, rounds=1, iterations=1)
+    report_figure("fig19", METRIC)
+    series = figure_series(METRIC)
+    for s, curve in series.items():
+        assert curve[max(curve)] <= curve[min(curve)] + 1e-9, s
+    mid = 50
+    # longest-prefix-match beats the flat baselines on relative error
+    assert series["greedy"][mid] <= series["end_biased"][mid]
+    assert series["quantized"][mid] <= series["end_biased"][mid]
+
+
+if __name__ == "__main__":
+    report_figure("fig19", METRIC)

@@ -1,0 +1,60 @@
+"""Ablation A4: quantization granularity of the quantized heuristic.
+
+The paper's quantized algorithm rounds its counters to
+``(1 + theta)^i`` values; the number of quanta k enters the running
+time as k^5.  This bench sweeps theta on a moderate workload and
+records the accuracy/time trade-off (Section 5.1.1 observed that the
+logarithmic counters lose fine-grained information on heavy groups).
+"""
+
+import time
+
+import numpy as np
+
+from repro import PrunedHierarchy, UIDDomain, get_metric
+from repro.algorithms import build_lpm_quantized
+from repro.data import TrafficModel, generate_subnet_table, generate_trace
+
+from workloads import format_table, save_series
+
+THETAS = [4.0, 2.0, 1.0]
+BUDGET = 50
+
+
+def _workload():
+    dom = UIDDomain(13)
+    table = generate_subnet_table(dom, seed=51)
+    uids = generate_trace(table, 300_000, seed=52, model=TrafficModel())
+    counts = table.counts_from_uids(uids)
+    return table, counts, PrunedHierarchy(table, counts)
+
+
+def test_theta_tradeoff(benchmark):
+    _table, _counts, hierarchy = _workload()
+    metric = get_metric("avg_relative", floor=1.0)
+    rows = []
+    errors = {}
+    for theta in THETAS:
+        t0 = time.perf_counter()
+        res = build_lpm_quantized(
+            hierarchy, metric, BUDGET, theta=theta, beam=3,
+            curve_budgets=[BUDGET],
+        )
+        dt = time.perf_counter() - t0
+        errors[theta] = res.error_at(BUDGET)
+        rows.append([theta, errors[theta], round(dt, 2)])
+    save_series("a4_quantization.csv", ["theta", "error", "seconds"], rows)
+    print(f"\nA4 quantization granularity (budget {BUDGET}, avg-relative)")
+    print(format_table(["theta", "error", "seconds"], rows))
+
+    assert all(np.isfinite(v) for v in errors.values())
+    # the finest grid should not be the worst of the sweep
+    assert errors[THETAS[-1]] <= max(errors.values()) + 1e-9
+
+    benchmark.pedantic(
+        lambda: build_lpm_quantized(
+            hierarchy, metric, BUDGET, theta=1.0, beam=3,
+            curve_budgets=[BUDGET],
+        ),
+        rounds=1, iterations=1,
+    )

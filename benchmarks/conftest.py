@@ -1,0 +1,7 @@
+"""Bench harness configuration: makes the shared workload modules
+importable and registers the heavy-bench marker."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

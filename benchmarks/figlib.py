@@ -1,0 +1,104 @@
+"""Shared implementation of the Figure 17-20 benches.
+
+Each figure is one error metric swept over the bucket grid for the six
+histogram types of Section 5:
+
+* hierarchical / nonoverlapping buckets (optimal DP),
+* hierarchical / overlapping buckets (optimal DP),
+* hierarchical / longest-prefix-match via the greedy heuristic,
+* hierarchical / longest-prefix-match via the quantized heuristic,
+* end-biased histograms,
+* V-Optimal histograms (RMS-built, as in the paper).
+
+``figure_series`` returns the error table; the per-figure bench modules
+time the headline construction and persist the series to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List
+
+import numpy as np
+
+from repro.algorithms import (
+    OverlappingDP,
+    build_lpm_greedy,
+    build_lpm_quantized,
+    build_nonoverlapping,
+    build_overlapping,
+)
+from repro.baselines import build_end_biased, build_v_optimal
+
+from workloads import (
+    BUDGETS,
+    QUANTIZED_BEAM,
+    QUANTIZED_BUDGETS,
+    QUANTIZED_THETA,
+    FigureWorkload,
+    figure_workload,
+    format_table,
+    metric_for,
+    save_series,
+)
+
+SERIES = [
+    "nonoverlapping",
+    "overlapping",
+    "greedy",
+    "quantized",
+    "end_biased",
+    "v_optimal",
+]
+
+
+@functools.lru_cache(maxsize=8)
+def figure_series(metric_name: str) -> Dict[str, Dict[int, float]]:
+    """Error per histogram type per bucket count for one metric."""
+    wl = figure_workload()
+    metric = metric_for(metric_name, wl)
+    b_max = max(BUDGETS)
+    out: Dict[str, Dict[int, float]] = {}
+
+    non = build_nonoverlapping(wl.hierarchy, metric, b_max)
+    out["nonoverlapping"] = {b: non.error_at(b) for b in BUDGETS}
+
+    dp = OverlappingDP(wl.hierarchy, metric, b_max)
+    over = build_overlapping(wl.hierarchy, metric, b_max)
+    out["overlapping"] = {b: over.error_at(b) for b in BUDGETS}
+
+    greedy = build_lpm_greedy(
+        wl.hierarchy, metric, b_max, dp=dp, curve_budgets=BUDGETS
+    )
+    out["greedy"] = {b: greedy.error_at(b) for b in BUDGETS}
+
+    quant = build_lpm_quantized(
+        wl.hierarchy, metric, max(QUANTIZED_BUDGETS),
+        theta=QUANTIZED_THETA, beam=QUANTIZED_BEAM,
+        curve_budgets=QUANTIZED_BUDGETS,
+    )
+    out["quantized"] = {
+        b: quant.error_at(min(b, max(QUANTIZED_BUDGETS))) for b in BUDGETS
+    }
+
+    eb = build_end_biased(wl.table, wl.counts, b_max)
+    out["end_biased"] = {b: eb.error(metric, b) for b in BUDGETS}
+
+    vo = build_v_optimal(wl.table, wl.counts, b_max)
+    out["v_optimal"] = {b: vo.error(metric, b) for b in BUDGETS}
+    return out
+
+
+def report_figure(figure: str, metric_name: str) -> str:
+    """Persist and render one figure's series."""
+    series = figure_series(metric_name)
+    header = ["buckets"] + SERIES
+    rows: List[List[object]] = []
+    for b in BUDGETS:
+        rows.append([b] + [series[s][b] for s in SERIES])
+    save_series(f"{figure}_{metric_name}.csv", header, rows)
+    table = format_table(header, rows)
+    text = f"{figure} ({metric_name} error vs. number of buckets)\n{table}"
+    print("\n" + text)
+    return text

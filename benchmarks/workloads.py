@@ -1,0 +1,125 @@
+"""Shared workloads and reporting helpers for the bench harness.
+
+The paper's evaluation (Section 5) runs against 1.1M WHOIS-derived
+subnets and a 7M-packet dark-address trace on the full IPv4 space.  The
+bench harness uses the same *pipeline* on a scaled synthetic workload
+(see DESIGN.md §4 for the substitution argument):
+
+* an 18-bit identifier domain with a ~10k-subnet covering table whose
+  prefix-length distribution has the classful spikes of Figure 15;
+* a 2M-packet multiplicative-cascade trace: heavy-tailed and spatially
+  correlated per-subnet loads, sparse at the group level (Figure 16).
+
+Every figure bench reads the same cached workload, sweeps the same
+bucket grid, and appends its series to ``benchmarks/results/`` so
+EXPERIMENTS.md can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro import GroupTable, PrunedHierarchy, UIDDomain, get_metric
+from repro.data import TrafficModel, generate_subnet_table, generate_trace
+
+#: Bucket-count grid for the Figure 17-20 sweeps (the paper sweeps
+#: 10..1000; the curve shape is established by these points).
+BUDGETS: List[int] = [10, 20, 50, 100, 200, 350, 500]
+
+#: Reduced grid for the expensive quantized heuristic.
+QUANTIZED_BUDGETS: List[int] = [10, 20, 50, 100]
+
+#: Quantized-heuristic bench parameters (coarse grid, narrow beam —
+#: the paper itself positions it as the scalable approximation).
+QUANTIZED_THETA = 2.0
+QUANTIZED_BEAM = 2
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@dataclass(frozen=True)
+class FigureWorkload:
+    """The standard evaluation workload shared by the figure benches."""
+
+    table: GroupTable
+    counts: np.ndarray
+    hierarchy: PrunedHierarchy
+    relative_floor: float
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.table)
+
+    @property
+    def num_nonzero(self) -> int:
+        return int((self.counts > 0).sum())
+
+
+@functools.lru_cache(maxsize=2)
+def figure_workload(
+    height: int = 18,
+    packets: int = 2_000_000,
+    table_seed: int = 11,
+    trace_seed: int = 12,
+) -> FigureWorkload:
+    """Build (once) the scaled Section-5 workload."""
+    domain = UIDDomain(height)
+    table = generate_subnet_table(domain, seed=table_seed)
+    uids = generate_trace(table, packets, seed=trace_seed, model=TrafficModel())
+    counts = table.counts_from_uids(uids)
+    nonzero = counts[counts > 0]
+    # Paper: the relative-error sanity constant b is a low-percentile
+    # actual value from historical data.
+    floor = max(1.0, float(np.percentile(nonzero, 5))) if nonzero.size else 1.0
+    return FigureWorkload(
+        table=table,
+        counts=counts,
+        hierarchy=PrunedHierarchy(table, counts),
+        relative_floor=floor,
+    )
+
+
+def metric_for(name: str, workload: FigureWorkload):
+    """Instantiate a metric with the workload's relative floor."""
+    if "relative" in name:
+        return get_metric(name, floor=workload.relative_floor)
+    return get_metric(name)
+
+
+def save_series(
+    filename: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Write a result table to ``benchmarks/results/`` as CSV."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as f:
+        f.write(",".join(map(str, header)) + "\n")
+        for row in rows:
+            f.write(",".join(str(v) for v in row) + "\n")
+    return path
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a small fixed-width table for logs."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    cells = [list(map(fmt, header))] + [list(map(fmt, r)) for r in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    lines = [
+        "  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)

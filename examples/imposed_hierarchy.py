@@ -1,0 +1,88 @@
+"""Imposing a hierarchy on data that has none.
+
+The paper's conclusion conjectures that hierarchical histograms help
+"even when dealing with data that lacks an inherent hierarchy": any
+total order on the keys induces a binary hierarchy (split the sorted
+key space in half, recursively), and if similar keys end up near each
+other the histograms can exploit it.
+
+This example monitors a stream of *session ids* — opaque integers with
+no prefix structure — under two impositions:
+
+* **value order**: sessions are numbered sequentially, so nearby ids
+  were created at similar times and behave similarly (hidden locality);
+* **hashed order**: the same stream with ids scrambled by a hash,
+  destroying all locality (the adversarial case).
+
+The same construction runs in both; the error gap *is* the value of
+the imposed structure.
+
+Run:  python examples/imposed_hierarchy.py
+"""
+
+import numpy as np
+
+from repro import (
+    GroupTable,
+    PrunedHierarchy,
+    UIDDomain,
+    evaluate_function,
+    get_metric,
+)
+from repro.algorithms import build_lpm_greedy
+from repro.baselines import build_end_biased
+
+
+def session_stream(num_sessions: int, num_events: int, seed: int):
+    """Events per session: intensity decays with session age, so
+    sequential ids carry hidden locality."""
+    rng = np.random.default_rng(seed)
+    age = np.arange(num_sessions)
+    intensity = np.exp(-age / (num_sessions / 4)) + 0.01 * rng.random(
+        num_sessions
+    )
+    weights = intensity / intensity.sum()
+    return rng.choice(num_sessions, size=num_events, p=weights)
+
+
+def scramble(ids: np.ndarray, bits: int, seed: int) -> np.ndarray:
+    """A random permutation 'hash' of the id space."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(1 << bits)
+    return perm[ids]
+
+
+def main() -> None:
+    bits = 12
+    num_sessions = 1 << bits
+    events = session_stream(num_sessions, 200_000, seed=5)
+
+    domain = UIDDomain(bits)
+    table = GroupTable(domain, [domain.leaf(u) for u in range(num_sessions)])
+    metric = get_metric("rms")
+    budget = 48
+
+    print(f"{'ordering':>12}  {'greedy LPM':>12}  {'end-biased':>12}")
+    for label, uids in (
+        ("value", events),
+        ("hashed", scramble(events, bits, seed=6)),
+    ):
+        counts = table.counts_from_uids(uids)
+        hierarchy = PrunedHierarchy(table, counts)
+        res = build_lpm_greedy(hierarchy, metric, budget,
+                               curve_budgets=[budget])
+        fn = res.function_at(budget)
+        hier_err = evaluate_function(table, counts, fn, metric)
+        eb_err = build_end_biased(table, counts, budget).error(metric, budget)
+        print(f"{label:>12}  {hier_err:>12.2f}  {eb_err:>12.2f}")
+
+    print(
+        "\nWith value ordering the imposed hierarchy captures the hidden "
+        "locality\nand the histogram wins; hashing the ids removes it and "
+        "the advantage\n(mostly) disappears — order your keys before "
+        "imposing a hierarchy."
+    )
+
+
+if __name__ == "__main__":
+    main()

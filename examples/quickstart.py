@@ -1,0 +1,76 @@
+"""Quickstart: compress a lookup table into a compact histogram.
+
+Builds a small subnet lookup table, observes a window of identifiers,
+constructs each class of partitioning function, and shows the error /
+size trade-off against simply shipping everything.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    PrunedHierarchy,
+    UIDDomain,
+    evaluate_function,
+    get_metric,
+    histogram_from_group_counts,
+)
+from repro.algorithms import (
+    build_lpm_greedy,
+    build_nonoverlapping,
+    build_overlapping,
+)
+from repro.data import TrafficModel, generate_subnet_table, generate_trace
+
+
+def main() -> None:
+    # 1. The lookup table: ~1500 nonoverlapping subnets covering a
+    #    14-bit identifier space (a scaled model of a WHOIS dump).
+    domain = UIDDomain(14)
+    table = generate_subnet_table(domain, seed=7)
+    print(f"lookup table: {table}")
+
+    # 2. A window of traffic and its exact per-group counts — the
+    #    answer the Control Center wants without shipping raw packets.
+    uids = generate_trace(table, 100_000, seed=8, model=TrafficModel())
+    counts = table.counts_from_uids(uids)
+    print(f"window: {len(uids)} packets, "
+          f"{int((counts > 0).sum())} active subnets")
+
+    # 3. Construct partitioning functions with a 48-bucket budget.
+    hierarchy = PrunedHierarchy(table, counts)
+    metric = get_metric("rms")
+    budget = 48
+    functions = {
+        "nonoverlapping": build_nonoverlapping(hierarchy, metric, budget),
+        "overlapping": build_overlapping(hierarchy, metric, budget),
+        "greedy LPM": build_lpm_greedy(hierarchy, metric, budget),
+    }
+
+    # 4. Compare: error of the reconstructed answer, and bytes shipped
+    #    per window vs. shipping raw identifiers.
+    raw_bytes = len(uids) * 2  # 14-bit identifiers -> 2 bytes each
+    print(f"\n{'method':>16}  {'rms error':>10}  {'bytes/window':>12}  "
+          f"{'vs raw':>8}")
+    for name, result in functions.items():
+        fn = result.function_at(budget)
+        err = evaluate_function(table, counts, fn, metric)
+        hist = histogram_from_group_counts(table, counts, fn)
+        nbytes = hist.size_bytes(domain)
+        print(f"{name:>16}  {err:>10.2f}  {nbytes:>12}  "
+              f"{raw_bytes / nbytes:>7.0f}x")
+
+    # 5. Look inside the winning function.
+    best = functions["greedy LPM"].function_at(budget)
+    print(f"\ngreedy LPM function: {best.num_buckets} buckets, "
+          f"{best.size_bits()} bits")
+    for bucket in best.buckets[:5]:
+        kind = "sparse" if bucket.is_sparse else "plain"
+        print(f"  {kind:>6} bucket at prefix "
+              f"{domain.node_prefix_str(bucket.node)!r}")
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

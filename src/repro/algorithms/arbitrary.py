@@ -1,0 +1,200 @@
+"""Arbitrary-fanout hierarchies (paper Section 4.1, Figure 11).
+
+The construction algorithms are formulated over binary hierarchies; the
+paper extends them to arbitrary fanout by converting the hierarchy to a
+binary tree whose synthetic interior nodes stand for contiguous runs of
+children (``{a, b}``, ``{c, d}`` in Figure 11) and rewriting the
+recurrences over those runs.  This module implements the conversion:
+
+* every hierarchy node is assigned a *binary block* — children of a
+  fanout-``f`` node occupy the first ``f`` slots at ``ceil(log2 f)``
+  levels below it, the remaining slots are unallocated space;
+* the synthetic binary nodes between a node and its children are the
+  child-run nodes of the paper's transformed recurrence, and the
+  existing binary dynamic programs run on the converted domain
+  unchanged (exactly as Section 4.1 prescribes);
+* mapping back is provided so results can be reported in terms of the
+  original hierarchy (a synthetic bucket node ``{a, b}`` is rendered as
+  a run of children).
+
+The depth increase is the ``log2(fanout)`` factor the paper notes in
+its running-time discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.domain import ROOT, UIDDomain
+from ..core.groups import GroupTable
+
+__all__ = ["ANode", "ArbitraryHierarchy"]
+
+
+class ANode:
+    """A node of an arbitrary-fanout hierarchy."""
+
+    __slots__ = ("label", "parent", "children", "_binary", "_depth_bits")
+
+    def __init__(self, label: object, parent: Optional["ANode"]) -> None:
+        self.label = label
+        self.parent = parent
+        self.children: List[ANode] = []
+        self._binary: Optional[int] = None
+        self._depth_bits = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def path(self) -> List[object]:
+        out: List[object] = []
+        node: Optional[ANode] = self
+        while node is not None:
+            out.append(node.label)
+            node = node.parent
+        out.reverse()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ANode({'/'.join(map(str, self.path()))})"
+
+
+class ArbitraryHierarchy:
+    """An arbitrary hierarchy with conversion to a binary domain.
+
+    Build the tree with :meth:`add`, then :meth:`finalize` to compute
+    the binary encoding.  After finalization, :meth:`binary_node` maps
+    hierarchy nodes to binary hierarchy node ids, :meth:`group_table`
+    builds the lookup table for a set of group nodes, and
+    :meth:`describe_binary_node` maps any binary node (including
+    synthetic child-run nodes chosen as buckets) back to hierarchy
+    terms.
+    """
+
+    def __init__(self, root_label: object = "root") -> None:
+        self.root = ANode(root_label, None)
+        self._domain: Optional[UIDDomain] = None
+
+    # -- construction -----------------------------------------------------
+    def add(self, parent: Optional[ANode], label: object) -> ANode:
+        """Add a child under ``parent`` (``None`` = the root)."""
+        if self._domain is not None:
+            raise RuntimeError("hierarchy already finalized")
+        parent = parent or self.root
+        child = ANode(label, parent)
+        parent.children.append(child)
+        return child
+
+    def add_path(self, labels: Sequence[object]) -> ANode:
+        """Ensure a root-to-leaf path exists, creating nodes as needed."""
+        node = self.root
+        for label in labels:
+            for child in node.children:
+                if child.label == label:
+                    node = child
+                    break
+            else:
+                node = self.add(node, label)
+        return node
+
+    # -- finalization -------------------------------------------------------
+    @staticmethod
+    def _child_bits(fanout: int) -> int:
+        return max(1, math.ceil(math.log2(fanout))) if fanout else 0
+
+    def finalize(self) -> UIDDomain:
+        """Assign binary blocks and return the covering binary domain."""
+        if self._domain is not None:
+            return self._domain
+        # First pass: bit depth of every node.
+        height = 0
+        stack: List[Tuple[ANode, int]] = [(self.root, 0)]
+        while stack:
+            node, bits = stack.pop()
+            node._depth_bits = bits
+            height = max(height, bits)
+            step = self._child_bits(len(node.children))
+            for child in node.children:
+                stack.append((child, bits + step))
+        self._domain = UIDDomain(height)
+        # Second pass: binary prefixes.
+        self.root._binary = ROOT
+        stack2: List[ANode] = [self.root]
+        while stack2:
+            node = stack2.pop()
+            step = self._child_bits(len(node.children))
+            base_prefix = UIDDomain.prefix(node._binary) << step
+            base_depth = UIDDomain.depth(node._binary) + step
+            for i, child in enumerate(node.children):
+                child._binary = (1 << base_depth) + base_prefix + i
+                stack2.append(child)
+        return self._domain
+
+    @property
+    def domain(self) -> UIDDomain:
+        if self._domain is None:
+            raise RuntimeError("call finalize() first")
+        return self._domain
+
+    # -- mapping -----------------------------------------------------------
+    def binary_node(self, node: ANode) -> int:
+        if node._binary is None:
+            raise RuntimeError("call finalize() first")
+        return node._binary
+
+    def nodes(self) -> Iterator[ANode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def leaves(self) -> Iterator[ANode]:
+        return (n for n in self.nodes() if n.is_leaf)
+
+    def find_by_binary(self, binary: int) -> Optional[ANode]:
+        """The hierarchy node exactly at a binary node, if any."""
+        for node in self.nodes():
+            if node._binary == binary:
+                return node
+        return None
+
+    def describe_binary_node(self, binary: int) -> str:
+        """Render a binary node in hierarchy terms — either a real node
+        or a synthetic run of children (Figure 11's ``{a, b}``)."""
+        exact = self.find_by_binary(binary)
+        if exact is not None:
+            return "/".join(map(str, exact.path()))
+        covered = [
+            node for node in self.nodes()
+            if UIDDomain.is_ancestor(binary, node._binary)
+            and node.parent is not None
+            and UIDDomain.is_ancestor(node.parent._binary, binary)
+        ]
+        if covered:
+            labels = ", ".join(str(n.label) for n in covered)
+            parent = "/".join(map(str, covered[0].parent.path()))
+            return f"{parent}/{{{labels}}}"
+        return f"<binary node {binary}>"
+
+    # -- lookup-table construction -------------------------------------------
+    def group_table(
+        self,
+        group_nodes: Sequence[ANode],
+        group_ids: Optional[Sequence[object]] = None,
+    ) -> GroupTable:
+        """A :class:`GroupTable` whose groups are hierarchy subtrees."""
+        domain = self.domain
+        nodes = [self.binary_node(n) for n in group_nodes]
+        if group_ids is None:
+            group_ids = ["/".join(map(str, n.path())) for n in group_nodes]
+        return GroupTable(domain, nodes, group_ids)
+
+    def leaf_uid(self, node: ANode) -> int:
+        """The canonical identifier of a leaf (start of its block)."""
+        if not node.is_leaf:
+            raise ValueError(f"{node!r} is not a leaf")
+        lo, _hi = self.domain.uid_range(self.binary_node(node))
+        return lo

@@ -1,0 +1,188 @@
+"""Shared dynamic-programming machinery (paper Section 3.1).
+
+All of the paper's construction algorithms traverse the (pruned) UID
+hierarchy bottom-up, maintaining per-node tables indexed by a bucket
+budget, and combine child tables by splitting the budget — a
+``(min, +)`` (or ``(min, max)`` for max-combine metrics) convolution.
+This module provides:
+
+* :func:`knapsack_merge` — the budget-splitting convolution with
+  argmin tracking for solution reconstruction, vectorized with numpy
+  and bounded by per-subtree bucket capacities (the classic tree-
+  knapsack bound that keeps total work near ``O(|G| b)``);
+* :class:`DPContext` — postorder leaf arrays over a
+  :class:`~repro.core.hierarchy.PrunedHierarchy` that evaluate
+  ``grperr`` (the error of estimating every group in a subtree at a
+  fixed density) in one vectorized pass, including the O(1)
+  contribution of empty regions (Section 4.3);
+* :class:`ConstructionResult` — a constructed partitioning function
+  together with the full budget/error curve (one DP run yields the
+  optimal error for *every* budget up to the requested one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..core.errors import PenaltyMetric
+from ..core.hierarchy import PNode, PrunedHierarchy
+
+__all__ = ["INF", "knapsack_merge", "DPContext", "ConstructionResult"]
+
+INF = float("inf")
+
+
+def knapsack_merge(
+    left: np.ndarray,
+    right: np.ndarray,
+    cap: int,
+    combine: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Budget-splitting merge of two child error tables.
+
+    ``left[c]`` / ``right[c]`` hold the best error of each subtree when
+    given ``c`` buckets (``inf`` = infeasible).  Returns ``(out,
+    choice)`` of length ``min(cap, len(left) + len(right) - 2) + 1``
+    where::
+
+        out[B]    = min over c of  left[c] (+ or max) right[B - c]
+        choice[B] = the minimizing c (buckets granted to the left child)
+
+    ``combine`` is ``"sum"`` for additive penalty metrics and ``"max"``
+    for max-combine metrics.
+    """
+    m, n = len(left), len(right)
+    size = min(cap, m + n - 2) + 1
+    out = np.full(size, INF)
+    choice = np.full(size, -1, dtype=np.int32)
+    maximum = combine == "max"
+    for c in range(min(m, size)):
+        lv = left[c]
+        if lv == INF:
+            continue
+        jmax = min(n - 1, size - 1 - c)
+        if jmax < 0:
+            break
+        seg = right[: jmax + 1]
+        cand = np.maximum(lv, seg) if maximum else lv + seg
+        window = out[c : c + jmax + 1]
+        better = cand < window
+        if better.any():
+            window[better] = cand[better]
+            choice[c : c + jmax + 1][better] = c
+    return out, choice
+
+
+@dataclass
+class ConstructionResult:
+    """Output of a construction algorithm.
+
+    Attributes
+    ----------
+    make_function:
+        Callable mapping a budget ``B`` (``1 <= B <= budget``) to the
+        best partitioning function found for that budget.
+    curve:
+        ``curve[B]`` is the algorithm's error for budget ``B``
+        (``inf`` where infeasible, e.g. budgets too small to cut the
+        hierarchy); ``curve[0]`` is always ``inf``/unused.
+    budget:
+        The largest budget the curve covers.
+    """
+
+    make_function: Callable[[int], object]
+    curve: np.ndarray
+    budget: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def error_at(self, b: int) -> float:
+        """Best error using at most ``b`` buckets."""
+        b = min(b, self.budget)
+        if b < 1:
+            return INF
+        return float(np.min(self.curve[1 : b + 1]))
+
+    def best_budget(self, b: int) -> int:
+        """The budget ``<= b`` achieving :meth:`error_at`."""
+        b = min(b, self.budget)
+        return int(np.argmin(self.curve[1 : b + 1])) + 1
+
+    def function_at(self, b: int):
+        """The best partitioning function using at most ``b`` buckets."""
+        return self.make_function(self.best_budget(b))
+
+
+class DPContext:
+    """Vectorized ``grperr`` evaluation over a pruned hierarchy.
+
+    The pruned hierarchy's postorder places the leaves of every subtree
+    in a contiguous slice, so the error of estimating all groups below
+    a node at one density is a single vectorized penalty computation:
+    group leaves contribute ``penalty(count, density)`` each, and a
+    zero node summarizing ``z`` empty groups contributes
+    ``penalty(0, density)`` with weight ``z``.
+    """
+
+    def __init__(self, hierarchy: PrunedHierarchy, metric: PenaltyMetric) -> None:
+        if not isinstance(metric, PenaltyMetric):
+            raise TypeError(
+                "the dynamic programs run on PenaltyMetric instances; "
+                "wrap exotic metrics or use the exhaustive oracle"
+            )
+        self.hierarchy = hierarchy
+        self.metric = metric
+        n = len(hierarchy.nodes)
+        # Leaf arrays in postorder; per-node contiguous slices.
+        actual: List[float] = []
+        weight: List[float] = []
+        self.leaf_lo = np.zeros(n, dtype=np.int64)
+        self.leaf_hi = np.zeros(n, dtype=np.int64)
+        for p in hierarchy.nodes:
+            if p.is_leaf:
+                self.leaf_lo[p.index] = len(actual)
+                if p.kind == "group":
+                    actual.append(p.tuples)
+                    weight.append(1.0)
+                else:  # zero summary
+                    actual.append(0.0)
+                    weight.append(float(p.n_groups))
+                self.leaf_hi[p.index] = len(actual)
+            else:
+                self.leaf_lo[p.index] = self.leaf_lo[p.left.index]
+                self.leaf_hi[p.index] = self.leaf_hi[p.right.index]
+        self.leaf_actual = np.asarray(actual, dtype=np.float64)
+        self.leaf_weight = np.asarray(weight, dtype=np.float64)
+
+    def grperr(self, pnode: PNode, density: float) -> float:
+        """Aggregate penalty of estimating every group below ``pnode``
+        (zeros included) at the given density."""
+        lo, hi = self.leaf_lo[pnode.index], self.leaf_hi[pnode.index]
+        if lo == hi:
+            return 0.0
+        pens = self.metric.penalty_array(self.leaf_actual[lo:hi], density)
+        if self.metric.combine == "sum":
+            return float(pens @ self.leaf_weight[lo:hi])
+        return float(pens.max())
+
+    def grperr_own(self, pnode: PNode) -> float:
+        """``grperr`` at the node's own density — the error of making
+        ``pnode`` a bucket in a nonoverlapping cut."""
+        return self.grperr(pnode, pnode.density)
+
+    def finalize(self, total_penalty: float) -> float:
+        """Convert an aggregate penalty at the root into the metric's
+        final error value over the full group universe."""
+        if total_penalty == INF:
+            return INF
+        return self.metric.finalize_total(
+            total_penalty, float(self.hierarchy.root.n_groups)
+        )
+
+    def finalize_curve(self, penalties: np.ndarray) -> np.ndarray:
+        out = np.empty_like(penalties)
+        for i, p in enumerate(penalties):
+            out[i] = self.finalize(float(p))
+        return out

@@ -1,0 +1,56 @@
+"""Unified entry point for histogram construction.
+
+Maps algorithm names to builders so that the monitoring substrate, the
+bench harness and user code can select construction strategies by
+configuration.  All builders share the signature
+``(hierarchy, metric, budget, **options) -> ConstructionResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from ..core.errors import PenaltyMetric
+from ..core.hierarchy import PrunedHierarchy
+from .base import ConstructionResult
+from .lpm_greedy import build_lpm_greedy
+from .lpm_kholes import build_lpm_kholes
+from .lpm_quantized import build_lpm_quantized
+from .nonoverlapping import build_nonoverlapping
+from .overlapping import build_overlapping
+
+__all__ = ["ALGORITHMS", "build", "available_algorithms"]
+
+ALGORITHMS: Dict[str, Callable[..., ConstructionResult]] = {
+    "nonoverlapping": build_nonoverlapping,
+    "overlapping": build_overlapping,
+    "lpm_greedy": build_lpm_greedy,
+    "lpm_quantized": build_lpm_quantized,
+    "lpm_kholes": build_lpm_kholes,
+}
+
+
+def build(
+    algorithm: str,
+    hierarchy: PrunedHierarchy,
+    metric: PenaltyMetric,
+    budget: int,
+    **options,
+) -> ConstructionResult:
+    """Construct a partitioning function with the named algorithm.
+
+    >>> from repro.algorithms.construct import build  # doctest: +SKIP
+    >>> result = build("lpm_greedy", hierarchy, metric, budget=100)
+    """
+    try:
+        builder = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(
+            f"unknown construction algorithm {algorithm!r}; known: {known}"
+        )
+    return builder(hierarchy, metric, budget, **options)
+
+
+def available_algorithms() -> Iterable[str]:
+    return sorted(ALGORITHMS)

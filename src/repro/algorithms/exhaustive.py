@@ -1,0 +1,187 @@
+"""Brute-force optimal partitioning functions for tiny hierarchies.
+
+This module is the test oracle for the dynamic programs: it enumerates
+*every* admissible bucket set over the full virtual hierarchy (not just
+the pruned one), evaluates each candidate end-to-end through the same
+histogram/reconstruction pipeline the Monitors and Control Center use,
+and returns the best.  Exponential in the domain size — only use it on
+domains of height ~4 or less.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.domain import ROOT, UIDDomain
+from ..core.errors import DistributiveErrorMetric
+from ..core.estimate import evaluate_function
+from ..core.groups import GroupTable
+from ..core.partition import (
+    Bucket,
+    LongestPrefixMatchPartitioning,
+    NonoverlappingPartitioning,
+    OverlappingPartitioning,
+    PartitioningFunction,
+)
+
+__all__ = [
+    "candidate_buckets",
+    "exhaustive_nonoverlapping",
+    "exhaustive_overlapping",
+    "exhaustive_lpm",
+]
+
+
+def candidate_buckets(
+    table: GroupTable,
+    counts: Sequence[float],
+    sparse: bool = False,
+) -> List[Bucket]:
+    """All bucket candidates: every node at or above a group node, plus
+    (optionally) a sparse variant for every node enclosing exactly one
+    nonzero group."""
+    counts = np.asarray(counts, dtype=np.float64)
+    domain = table.domain
+    nodes = set()
+    for g in table.nodes.tolist():
+        nodes.add(int(g))
+        nodes.update(UIDDomain.ancestors(int(g)))
+    out: List[Bucket] = []
+    for node in sorted(nodes):
+        out.append(Bucket(node))
+        if not sparse:
+            continue
+        idx = table.group_indices_below(node)
+        nz = idx[counts[idx] > 0]
+        if nz.size == 1:
+            gnode = int(table.nodes[int(nz[0])])
+            if gnode != node:
+                out.append(Bucket(node, sparse_group_node=gnode))
+    return out
+
+
+def _covers_all_groups(table: GroupTable, buckets: Sequence[Bucket]) -> bool:
+    covered = np.zeros(len(table), dtype=bool)
+    for b in buckets:
+        covered[table.group_indices_below(b.node)] = True
+    return bool(covered.all())
+
+
+def _disjoint(domain: UIDDomain, buckets: Sequence[Bucket]) -> bool:
+    ranges = sorted(domain.uid_range(b.node) for b in buckets)
+    return all(a[1] <= b[0] for a, b in zip(ranges, ranges[1:]))
+
+
+def _distinct_nodes(buckets: Sequence[Bucket]) -> bool:
+    seen = set()
+    for b in buckets:
+        for n in b.match_nodes():
+            if n in seen:
+                return False
+            seen.add(n)
+    return True
+
+
+def _search(
+    table: GroupTable,
+    counts: Sequence[float],
+    metric: DistributiveErrorMetric,
+    budget: int,
+    candidates: Sequence[Bucket],
+    build,
+    valid,
+) -> Tuple[float, Optional[PartitioningFunction]]:
+    best = float("inf")
+    best_fn: Optional[PartitioningFunction] = None
+    for size in range(1, budget + 1):
+        for combo in combinations(candidates, size):
+            if not _distinct_nodes(combo):
+                continue
+            if not valid(combo):
+                continue
+            fn = build(list(combo))
+            err = evaluate_function(table, counts, fn, metric)
+            if err < best - 1e-12:
+                best = err
+                best_fn = fn
+    return best, best_fn
+
+
+def exhaustive_nonoverlapping(
+    table: GroupTable,
+    counts: Sequence[float],
+    metric: DistributiveErrorMetric,
+    budget: int,
+) -> Tuple[float, Optional[NonoverlappingPartitioning]]:
+    """Optimal nonoverlapping function by enumeration: disjoint bucket
+    subtrees covering every group."""
+    cands = candidate_buckets(table, counts, sparse=False)
+    domain = table.domain
+
+    def valid(combo):
+        return _disjoint(domain, combo) and _covers_all_groups(table, combo)
+
+    return _search(
+        table, counts, metric, budget, cands,
+        lambda bs: NonoverlappingPartitioning(domain, bs), valid,
+    )
+
+
+def exhaustive_overlapping(
+    table: GroupTable,
+    counts: Sequence[float],
+    metric: DistributiveErrorMetric,
+    budget: int,
+    sparse: bool = False,
+    require_root: bool = True,
+) -> Tuple[float, Optional[OverlappingPartitioning]]:
+    """Optimal overlapping function by enumeration.
+
+    ``require_root`` mirrors the constructive algorithms: the top-level
+    bucket enclosing all groups must be selected.
+    """
+    cands = candidate_buckets(table, counts, sparse=sparse)
+    domain = table.domain
+    top = _top_node(table)
+
+    def valid(combo):
+        return (not require_root) or any(b.node == top for b in combo)
+
+    return _search(
+        table, counts, metric, budget, cands,
+        lambda bs: OverlappingPartitioning(domain, bs), valid,
+    )
+
+
+def exhaustive_lpm(
+    table: GroupTable,
+    counts: Sequence[float],
+    metric: DistributiveErrorMetric,
+    budget: int,
+    sparse: bool = False,
+    require_root: bool = True,
+) -> Tuple[float, Optional[LongestPrefixMatchPartitioning]]:
+    """Optimal longest-prefix-match function by enumeration."""
+    cands = candidate_buckets(table, counts, sparse=sparse)
+    domain = table.domain
+    top = _top_node(table)
+
+    def valid(combo):
+        return (not require_root) or any(b.node == top for b in combo)
+
+    return _search(
+        table, counts, metric, budget, cands,
+        lambda bs: LongestPrefixMatchPartitioning(domain, bs), valid,
+    )
+
+
+def _top_node(table: GroupTable) -> int:
+    """The lowest node enclosing every group — the pruned hierarchy's
+    root anchor when zero groups reach the domain root, else ROOT."""
+    top = int(table.nodes[0])
+    for g in table.nodes.tolist()[1:]:
+        top = UIDDomain.lca(top, int(g))
+    return top

@@ -1,0 +1,471 @@
+"""Multidimensional hierarchical histograms (paper Section 4.2).
+
+In ``d`` dimensions a bucket is a ``d``-tuple of hierarchy nodes — a
+rectangular region (Figure 12).  Groups are the tiles of the product
+grid of per-dimension group cuts (e.g. source-subnet x
+destination-subnet).  The dynamic programs recurse on rectangular
+regions, at each step splitting the region in half along one dimension
+(the paper's recurrences for two dimensions; this implementation
+handles any fixed ``d``):
+
+* nonoverlapping (the recurrence at the end of Section 4.2's first
+  block): ``E[(i1..id), B]`` with a budget knapsack per split;
+* overlapping (Figure 13): an enclosing-bucket-region parameter is
+  carried, and a region may become a bucket region itself.
+
+Unlike the one-dimensional modules this one materializes the group
+grid, so it targets the moderate dimensionalities/scales of the paper's
+multidimensional experiments, not the million-group 1-D workloads.
+Splits are only taken where they do not slice a group tile, so buckets
+always respect group boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.domain import ROOT, UIDDomain
+from ..core.errors import DistributiveErrorMetric, PenaltyMetric
+from .base import INF, knapsack_merge
+
+__all__ = ["GridGroups", "MultiDimResult", "build_nonoverlapping_nd",
+           "build_overlapping_nd", "evaluate_nd"]
+
+Region = Tuple[int, ...]
+
+
+class GridGroups:
+    """The product-grid group structure of a d-dimensional query.
+
+    Parameters
+    ----------
+    domains:
+        One :class:`UIDDomain` per dimension.
+    cuts:
+        Per dimension, the group nodes along that dimension — a
+        nonoverlapping covering cut of the domain (e.g. the subnet
+        table for source addresses).
+    counts:
+        d-dimensional array of tile counts, ``counts[i1, ..., id]``
+        being the count of the group at cut position ``i`` of each
+        dimension.
+    """
+
+    def __init__(
+        self,
+        domains: Sequence[UIDDomain],
+        cuts: Sequence[Sequence[int]],
+        counts: np.ndarray,
+    ) -> None:
+        if len(domains) != len(cuts):
+            raise ValueError("one cut per domain required")
+        self.domains = list(domains)
+        self.cuts: List[List[int]] = []
+        self.boundaries: List[np.ndarray] = []
+        for dom, cut in zip(domains, cuts):
+            ranges = sorted(dom.uid_range(n) for n in cut)
+            ordered = sorted(cut, key=dom.uid_range)
+            if ranges[0][0] != 0 or ranges[-1][1] != dom.num_uids or any(
+                a[1] != b[0] for a, b in zip(ranges, ranges[1:])
+            ):
+                raise ValueError(
+                    "each dimension's group nodes must form a covering cut"
+                )
+            self.cuts.append(ordered)
+            self.boundaries.append(
+                np.asarray([r[0] for r in ranges] + [dom.num_uids])
+            )
+        counts = np.asarray(counts, dtype=np.float64)
+        expected = tuple(len(c) for c in self.cuts)
+        if counts.shape != expected:
+            raise ValueError(
+                f"counts shape {counts.shape} != grid shape {expected}"
+            )
+        self.counts = counts
+
+    @property
+    def ndim(self) -> int:
+        return len(self.domains)
+
+    @property
+    def root_region(self) -> Region:
+        return tuple(ROOT for _ in self.domains)
+
+    def tile_slice(self, region: Region) -> Optional[Tuple[slice, ...]]:
+        """The grid slice covered by a region, or ``None`` if the region
+        is misaligned (strictly inside a tile in some dimension)."""
+        out = []
+        for dim, node in enumerate(region):
+            lo, hi = self.domains[dim].uid_range(node)
+            b = self.boundaries[dim]
+            a = int(np.searchsorted(b, lo))
+            z = int(np.searchsorted(b, hi))
+            if a >= len(b) or b[a] != lo or z >= len(b) or b[z] != hi:
+                return None
+            out.append(slice(a, z))
+        return tuple(out)
+
+    def can_split(self, region: Region, dim: int) -> bool:
+        """Whether halving ``region`` along ``dim`` respects tile
+        boundaries."""
+        node = region[dim]
+        dom = self.domains[dim]
+        if dom.depth(node) >= dom.height:
+            return False
+        lo, hi = dom.uid_range(node)
+        mid = (lo + hi) // 2
+        b = self.boundaries[dim]
+        k = int(np.searchsorted(b, mid))
+        return k < len(b) and b[k] == mid
+
+    def split(self, region: Region, dim: int) -> Tuple[Region, Region]:
+        node = region[dim]
+        left = list(region)
+        right = list(region)
+        left[dim] = UIDDomain.left_child(node)
+        right[dim] = UIDDomain.right_child(node)
+        return tuple(left), tuple(right)
+
+    def region_tiles(self, region: Region) -> np.ndarray:
+        sl = self.tile_slice(region)
+        if sl is None:
+            raise ValueError(f"region {region} is not tile-aligned")
+        return self.counts[sl]
+
+    def region_stats(self, region: Region) -> Tuple[float, int]:
+        tiles = self.region_tiles(region)
+        return float(tiles.sum()), int(tiles.size)
+
+    def contains(self, outer: Region, inner: Region) -> bool:
+        return all(
+            UIDDomain.is_ancestor(o, i) for o, i in zip(outer, inner)
+        )
+
+
+@dataclass
+class MultiDimResult:
+    """Construction output: bucket regions per budget plus the curve."""
+
+    curve: np.ndarray
+    budget: int
+    _materialize: object
+
+    def error_at(self, b: int) -> float:
+        b = min(b, self.budget)
+        if b < 1:
+            return INF
+        return float(np.min(self.curve[1 : b + 1]))
+
+    def buckets_at(self, b: int) -> List[Region]:
+        b = min(b, self.budget)
+        best = int(np.argmin(self.curve[1 : b + 1])) + 1
+        return self._materialize(best)
+
+
+def _grperr(
+    grid: GridGroups, metric: PenaltyMetric, region: Region, density: float
+) -> float:
+    tiles = grid.region_tiles(region).ravel()
+    pens = metric.penalty_array(tiles, density)
+    return float(pens.sum()) if metric.combine == "sum" else float(pens.max())
+
+
+def _finalize_curve(
+    grid: GridGroups, metric: PenaltyMetric, penalties: np.ndarray
+) -> np.ndarray:
+    total_groups = float(grid.counts.size)
+    out = np.empty_like(penalties)
+    for i, p in enumerate(penalties):
+        out[i] = INF if p == INF else metric.finalize_total(float(p), total_groups)
+    return out
+
+
+def build_nonoverlapping_nd(
+    grid: GridGroups, metric: PenaltyMetric, budget: int
+) -> MultiDimResult:
+    """Optimal d-dimensional nonoverlapping (rectangular-cut) histogram."""
+    if budget < 1:
+        raise ValueError(f"budget must be at least 1, got {budget}")
+    tables: Dict[Region, np.ndarray] = {}
+    choices: Dict[Region, List] = {}
+
+    def solve(region: Region) -> np.ndarray:
+        if region in tables:
+            return tables[region]
+        _total, ntiles = grid.region_stats(region)
+        cap = min(budget, ntiles)
+        table = np.full(cap + 1, INF)
+        choice: List = [None] * (cap + 1)
+        total, ntiles = grid.region_stats(region)
+        table[1] = _grperr(grid, metric, region, total / ntiles)
+        choice[1] = ("bucket",)
+        for dim in range(grid.ndim):
+            if not grid.can_split(region, dim):
+                continue
+            left, right = grid.split(region, dim)
+            lt, rt = solve(left), solve(right)
+            merged, split = knapsack_merge(lt, rt, cap, metric.combine)
+            for B in range(2, min(cap, len(merged) - 1) + 1):
+                if merged[B] < table[B]:
+                    table[B] = merged[B]
+                    choice[B] = ("split", dim, int(split[B]))
+        tables[region] = table
+        choices[region] = choice
+        return table
+
+    root = grid.root_region
+    root_table = solve(root)
+    curve = np.full(budget + 1, INF)
+    upto = min(budget, len(root_table) - 1)
+    curve[1 : upto + 1] = _finalize_curve(grid, metric, root_table[1 : upto + 1])
+    best = INF
+    for b in range(1, budget + 1):
+        best = min(best, curve[b])
+        curve[b] = best
+
+    def materialize(b: int) -> List[Region]:
+        out: List[Region] = []
+        stack = [(root, min(b, upto))]
+        while stack:
+            region, bb = stack.pop()
+            table = tables[region]
+            bb = min(bb, len(table) - 1)
+            ch = choices[region][bb]
+            if ch is None or ch[0] == "bucket" or bb == 1:
+                out.append(region)
+                continue
+            _k, dim, c = ch
+            left, right = grid.split(region, dim)
+            stack.append((left, c))
+            stack.append((right, bb - c))
+        return out
+
+    return MultiDimResult(curve=curve, budget=budget, _materialize=materialize)
+
+
+def build_overlapping_nd(
+    grid: GridGroups, metric: PenaltyMetric, budget: int
+) -> MultiDimResult:
+    """Optimal d-dimensional overlapping histogram (Figure 13).
+
+    Bucket regions nest strictly inside their enclosing bucket region;
+    every group is estimated from the density of its closest enclosing
+    bucket region.  The root region is always a bucket.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be at least 1, got {budget}")
+    full_tables: Dict[Tuple[Region, Region], np.ndarray] = {}
+    full_choices: Dict[Tuple[Region, Region], List] = {}
+    bucket_tables: Dict[Region, np.ndarray] = {}
+    bucket_choices: Dict[Region, List] = {}
+    densities: Dict[Region, float] = {}
+
+    def density(region: Region) -> float:
+        if region not in densities:
+            total, ntiles = grid.region_stats(region)
+            densities[region] = total / ntiles if ntiles else 0.0
+        return densities[region]
+
+    def cap_of(region: Region) -> int:
+        _t, ntiles = grid.region_stats(region)
+        return min(budget, ntiles)
+
+    def solve_bucket(region: Region) -> np.ndarray:
+        """table[B] = best error for region as a bucket, B buckets total
+        at/inside it."""
+        if region in bucket_tables:
+            return bucket_tables[region]
+        cap = cap_of(region)
+        table = np.full(cap + 1, INF)
+        choice: List = [None] * (cap + 1)
+        table[1] = _grperr(grid, metric, region, density(region))
+        choice[1] = ("plain",)
+        for dim in range(grid.ndim):
+            if not grid.can_split(region, dim):
+                continue
+            left, right = grid.split(region, dim)
+            lt = solve_full(left, region)
+            rt = solve_full(right, region)
+            merged, split = knapsack_merge(lt, rt, cap - 1, metric.combine)
+            for Bin in range(len(merged)):
+                B = Bin + 1
+                if B <= cap and merged[Bin] < table[B]:
+                    table[B] = merged[Bin]
+                    choice[B] = ("split", dim, int(split[Bin]))
+        bucket_tables[region] = table
+        bucket_choices[region] = choice
+        return table
+
+    def solve_full(region: Region, j: Region) -> np.ndarray:
+        """table[B] = best error for region given closest enclosing
+        bucket region ``j`` (region itself may or may not be one)."""
+        key = (region, j)
+        if key in full_tables:
+            return full_tables[key]
+        cap = cap_of(region)
+        table = np.full(cap + 1, INF)
+        choice: List = [None] * (cap + 1)
+        table[0] = _grperr(grid, metric, region, density(j))
+        choice[0] = ("pass",)
+        for dim in range(grid.ndim):
+            if not grid.can_split(region, dim):
+                continue
+            left, right = grid.split(region, dim)
+            lt = solve_full(left, j)
+            rt = solve_full(right, j)
+            merged, split = knapsack_merge(lt, rt, cap, metric.combine)
+            for B in range(1, min(cap, len(merged) - 1) + 1):
+                if merged[B] < table[B]:
+                    table[B] = merged[B]
+                    choice[B] = ("split", dim, int(split[B]))
+        bt = solve_bucket(region)
+        lim = min(len(table), len(bt))
+        for B in range(1, lim):
+            if bt[B] < table[B]:
+                table[B] = bt[B]
+                choice[B] = ("bucket",)
+        full_tables[key] = table
+        full_choices[key] = choice
+        return table
+
+    root = grid.root_region
+    root_table = solve_bucket(root)
+    curve = np.full(budget + 1, INF)
+    upto = min(budget, len(root_table) - 1)
+    curve[1 : upto + 1] = _finalize_curve(grid, metric, root_table[1 : upto + 1])
+    best = INF
+    for b in range(1, budget + 1):
+        best = min(best, curve[b])
+        curve[b] = best
+
+    def collect_bucket(region: Region, b: int, out: List[Region]) -> None:
+        table = bucket_tables[region]
+        b = min(b, len(table) - 1)
+        out.append(region)
+        ch = bucket_choices[region][b]
+        if ch is None or ch[0] == "plain" or b <= 1:
+            return
+        _k, dim, c = ch
+        left, right = grid.split(region, dim)
+        collect_full(left, c, region, out)
+        collect_full(right, b - 1 - c, region, out)
+
+    def collect_full(region: Region, b: int, j: Region, out: List[Region]) -> None:
+        if b <= 0:
+            return
+        table = full_tables[(region, j)]
+        b = min(b, len(table) - 1)
+        ch = full_choices[(region, j)][b]
+        if ch is None or ch[0] == "pass":
+            return
+        if ch[0] == "bucket":
+            collect_bucket(region, b, out)
+            return
+        _k, dim, c = ch
+        left, right = grid.split(region, dim)
+        collect_full(left, c, j, out)
+        collect_full(right, b - c, j, out)
+
+    def materialize(b: int) -> List[Region]:
+        out: List[Region] = []
+        collect_bucket(root, min(b, upto), out)
+        return out
+
+    return MultiDimResult(curve=curve, budget=budget, _materialize=materialize)
+
+
+def evaluate_nd(
+    grid: GridGroups,
+    buckets: Sequence[Region],
+    metric: DistributiveErrorMetric,
+    semantics: str = "overlapping",
+) -> float:
+    """Measured error of a d-dimensional bucket set.
+
+    Every group tile is estimated from its closest enclosing bucket
+    region (for nonoverlapping cuts that region is unique); tiles
+    covered by no bucket are estimated as zero.  Under
+    ``"longest_prefix_match"`` semantics, nested bucket regions are
+    holes: a bucket's count and tile population both exclude the tiles
+    of regions nested inside it (the d-dimensional analogue of the 1-D
+    rule; the paper notes these extensions but omits the recurrences).
+    """
+    if semantics not in ("overlapping", "nonoverlapping",
+                         "longest_prefix_match"):
+        raise ValueError(f"unknown semantics {semantics!r}")
+    # Shallower (larger) regions first so deeper assignments overwrite.
+    def volume(region: Region) -> int:
+        _t, ntiles = grid.region_stats(region)
+        return ntiles
+
+    ordered = sorted(buckets, key=volume, reverse=True)
+    estimates = np.zeros_like(grid.counts)
+    if semantics != "longest_prefix_match":
+        for region in ordered:
+            sl = grid.tile_slice(region)
+            if sl is None:
+                raise ValueError(
+                    f"bucket region {region} is not tile-aligned"
+                )
+            total, ntiles = grid.region_stats(region)
+            estimates[sl] = total / ntiles if ntiles else 0.0
+        return metric.evaluate(grid.counts.ravel(), estimates.ravel())
+    # LPM: assign each tile to its closest enclosing bucket, then use
+    # per-bucket net totals/populations.
+    owner = np.full(grid.counts.shape, -1, dtype=np.int64)
+    for i, region in enumerate(ordered):
+        sl = grid.tile_slice(region)
+        if sl is None:
+            raise ValueError(f"bucket region {region} is not tile-aligned")
+        owner[sl] = i
+    flat_owner = owner.ravel()
+    flat_counts = grid.counts.ravel()
+    for i in range(len(ordered)):
+        mine = flat_owner == i
+        pop = int(mine.sum())
+        if not pop:
+            continue
+        net_total = float(flat_counts[mine].sum())
+        estimates.ravel()[mine] = net_total / pop
+    return metric.evaluate(flat_counts, estimates.ravel())
+
+
+def build_lpm_greedy_nd(
+    grid: GridGroups, metric: PenaltyMetric, budget: int
+) -> MultiDimResult:
+    """Greedy d-dimensional longest-prefix-match histograms.
+
+    The 1-D greedy heuristic (Section 3.2.6) carries over unchanged:
+    run the optimal overlapping DP, keep its (strictly nested) bucket
+    regions, and reinterpret them under longest-prefix-match semantics,
+    where nested regions are holes.  The returned curve reports the
+    measured LPM error of each reinterpreted set.
+    """
+    over = build_overlapping_nd(grid, metric, budget)
+    curve = np.full(budget + 1, INF)
+    for b in range(1, budget + 1):
+        if not np.isfinite(over.curve[b]):
+            continue
+        curve[b] = evaluate_nd(
+            grid, over._materialize(b), metric,
+            semantics="longest_prefix_match",
+        )
+    best = INF
+    for b in range(1, budget + 1):
+        best = min(best, curve[b])
+        curve[b] = best
+
+    def materialize(b: int) -> List[Region]:
+        feasible = [
+            bb for bb in range(1, min(b, budget) + 1)
+            if np.isfinite(curve[bb])
+        ]
+        if not feasible:
+            return [grid.root_region]
+        return over._materialize(min(feasible, key=lambda bb: curve[bb]))
+
+    return MultiDimResult(curve=curve, budget=budget,
+                          _materialize=materialize)

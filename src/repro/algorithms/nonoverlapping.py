@@ -1,0 +1,180 @@
+"""Optimal nonoverlapping partitioning functions (paper Section 3.2.2).
+
+The bucket nodes of a nonoverlapping function form a cut of the UID
+hierarchy (Figure 3).  The dynamic program fills::
+
+    E[i, B] = grperr(i)                                   if B == 1
+            = min over c of E[left, c] (+) E[right, B-c]  otherwise
+
+bottom-up over the pruned hierarchy.  ``grperr(i)`` is the error of
+estimating every group below ``i`` at ``i``'s density — the error of
+making ``i`` a single bucket.  The table at the root yields the optimal
+error for *every* budget up to the requested one in a single run.
+
+The pruned hierarchy retains the attachment points of all-zero sibling
+subtrees, so cuts that isolate empty regions (which then cost nothing
+to transmit — their buckets are inferred, Section 4.3) are part of the
+search space and the result is optimal over the full virtual hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.errors import PenaltyMetric
+from ..core.hierarchy import PNode, PrunedHierarchy
+from ..core.partition import Bucket, NonoverlappingPartitioning
+from .base import INF, ConstructionResult, DPContext, knapsack_merge
+
+__all__ = ["build_nonoverlapping"]
+
+
+def build_nonoverlapping(
+    hierarchy: PrunedHierarchy,
+    metric: PenaltyMetric,
+    budget: int,
+    low_memory: bool = False,
+) -> ConstructionResult:
+    """Construct the optimal nonoverlapping partitioning function.
+
+    Parameters
+    ----------
+    hierarchy:
+        Pruned hierarchy of the window being summarized.
+    metric:
+        The distributive error metric to minimize.
+    budget:
+        Maximum number of histogram buckets ``b``.
+    low_memory:
+        Apply the paper's Section 4.4 space optimization (after Guha):
+        keep no per-node choice tables at all — only the O(b x depth)
+        error tables live during the sweep — and reconstruct bucket
+        sets by re-running the DP recursively on the two subtrees of
+        each chosen split.  Same optimum; reconstruction costs an extra
+        O(depth) factor, which is why it is opt-in.
+
+    Returns
+    -------
+    ConstructionResult
+        ``result.curve[B]`` is the optimal error for every ``B`` up to
+        the budget; ``result.function_at(B)`` materializes the cut.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be at least 1, got {budget}")
+    ctx = DPContext(hierarchy, metric)
+    root_table, splits = _sweep(
+        hierarchy.root, ctx, budget, keep_splits=not low_memory
+    )
+    curve = np.full(budget + 1, INF)
+    upto = min(budget, len(root_table) - 1)
+    curve[1 : upto + 1] = ctx.finalize_curve(root_table[1 : upto + 1])
+    # Error is nonincreasing in budget: extra buckets can't hurt, so
+    # budgets beyond the hierarchy's capacity keep the best value.
+    best = INF
+    for b in range(1, budget + 1):
+        best = min(best, curve[b])
+        curve[b] = best
+
+    def make_function(b: int) -> NonoverlappingPartitioning:
+        b = min(b, upto)
+        bucket_nodes: List[int] = []
+        if low_memory:
+            _collect_multipass(hierarchy.root, b, ctx, budget, bucket_nodes)
+        else:
+            _collect(hierarchy.root, b, splits, bucket_nodes)
+        return NonoverlappingPartitioning(
+            hierarchy.domain, [Bucket(v) for v in bucket_nodes]
+        )
+
+    return ConstructionResult(
+        make_function=make_function,
+        curve=curve,
+        budget=budget,
+        stats={"nodes": float(len(hierarchy.nodes))},
+    )
+
+
+def _sweep(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
+    """One bottom-up DP pass over ``root``'s subtree.
+
+    Child error tables are freed as soon as their parent consumes them,
+    so at most O(depth) tables are live.  Split choices are retained
+    only when ``keep_splits`` — dropping them is the Section 4.4 mode.
+    """
+    tables = {}
+    splits: dict = {}
+    stack = [(root, False)]
+    while stack:
+        p, expanded = stack.pop()
+        if not expanded and not p.is_leaf:
+            stack.append((p, True))
+            stack.append((p.right, False))
+            stack.append((p.left, False))
+            continue
+        if p.is_leaf:
+            table = np.full(2, INF)
+            table[1] = ctx.grperr_own(p)  # 0 for exact / empty leaves
+            tables[p.index] = table
+            continue
+        left, right = tables.pop(p.left.index), tables.pop(p.right.index)
+        table, split = knapsack_merge(left, right, budget, ctx.metric.combine)
+        one_bucket = ctx.grperr_own(p)
+        if one_bucket < table[1]:
+            table[1] = one_bucket
+            split[1] = -1  # sentinel: this node is the bucket
+        tables[p.index] = table
+        if keep_splits:
+            splits[p.index] = split
+    return tables[root.index], splits
+
+
+def _collect_multipass(
+    p: PNode, b: int, ctx: DPContext, budget: int, out: List[int]
+) -> None:
+    """Section 4.4 reconstruction: re-derive the split at each node by
+    re-running the DP on its two subtrees, then recurse."""
+    stack = [(p, b)]
+    while stack:
+        p, b = stack.pop()
+        if p.is_leaf or b == 1:
+            out.append(p.node)
+            continue
+        left_table, _ = _sweep(p.left, ctx, budget, keep_splits=False)
+        right_table, _ = _sweep(p.right, ctx, budget, keep_splits=False)
+        merged, split = knapsack_merge(
+            left_table, right_table, budget, ctx.metric.combine
+        )
+        b = min(b, len(merged) - 1)
+        if b == 1:  # only the single-bucket option remains
+            out.append(p.node)
+            continue
+        c = int(split[b])
+        stack.append((p.left, c))
+        stack.append((p.right, b - c))
+
+
+def _collect(
+    p: PNode,
+    b: int,
+    splits: List[Optional[np.ndarray]],
+    out: List[int],
+) -> None:
+    """Walk the recorded split choices to materialize the cut for
+    budget ``b``."""
+    stack = [(p, b)]
+    while stack:
+        p, b = stack.pop()
+        if p.is_leaf or b == 1:
+            out.append(p.node)
+            continue
+        split = splits[p.index]
+        b = min(b, len(split) - 1)
+        c = int(split[b])
+        if c == -1:  # single-bucket choice recorded at B == 1 only
+            out.append(p.node)
+            continue
+        stack.append((p.left, c))
+        stack.append((p.right, b - c))
+    return None

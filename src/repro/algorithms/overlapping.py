@@ -1,0 +1,271 @@
+"""Optimal overlapping partitioning functions (paper Section 3.2.3).
+
+Overlapping functions let bucket subtrees nest (Figure 4); estimation
+maps every group to its *closest* selected ancestor.  The dynamic
+program therefore carries the closest-selected-ancestor ``j`` as an
+extra parameter::
+
+    E[i, B, j] = grperr(i, j)                         if B == 0
+               = min( bucket case, non-bucket case )  otherwise
+
+where the bucket case conditions the children on ``j = i`` and spends
+one bucket on ``i`` itself.  Crucially — and this is what the greedy
+longest-prefix-match heuristic (Section 3.2.6) relies on — the bucket
+case is *independent of the enclosing ancestor*, so it is computed once
+per node (table ``F``/``E_b`` here) and shared across all ``j``.
+
+Sparse buckets (Section 4.3, Figure 14) are folded in as a base case:
+any subtree containing at most one nonzero group is representable
+exactly by a single (sparse) bucket, so the DP can cap such subtrees at
+one bucket and "start at the upper node of each sparse bucket", exactly
+as the paper prescribes.  Disable with ``sparse=False`` to explore the
+plain bucket space only.
+
+The root must itself be a bucket node (every identifier needs an
+enclosing bucket; see Figures 4-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import PenaltyMetric
+from ..core.hierarchy import PNode, PrunedHierarchy
+from ..core.partition import Bucket, OverlappingPartitioning
+from .base import INF, ConstructionResult, DPContext, knapsack_merge
+
+__all__ = ["build_overlapping", "OverlappingDP"]
+
+# Flags recorded for reconstruction.
+_NOT_BUCKET = 0
+_BUCKET = 1
+_SPARSE = 2
+
+
+@dataclass
+class _NodeRecord:
+    """Reconstruction state for one pruned node."""
+
+    # Bucket case: split_b[B] = buckets granted to the left child when
+    # this node is a bucket and B buckets are spent at/below it.
+    split_b: Optional[np.ndarray] = None
+    sparse_at: Optional[int] = None  # node id of the single nonzero leaf
+    bucket_flag: Optional[np.ndarray] = None  # _BUCKET or _SPARSE per B
+    # Per enclosing ancestor j (by pruned-node index):
+    flags: Optional[Dict[int, np.ndarray]] = None
+    splits_nb: Optional[Dict[int, np.ndarray]] = None
+
+
+class OverlappingDP:
+    """One run of the overlapping dynamic program.
+
+    Kept as a class so that the longest-prefix-match greedy heuristic
+    can inspect per-bucket approximation errors after the run.
+    """
+
+    def __init__(
+        self,
+        hierarchy: PrunedHierarchy,
+        metric: PenaltyMetric,
+        budget: int,
+        sparse: bool = True,
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be at least 1, got {budget}")
+        self.hierarchy = hierarchy
+        self.metric = metric
+        self.budget = budget
+        self.sparse = sparse
+        self.ctx = DPContext(hierarchy, metric)
+        self.records: List[_NodeRecord] = [
+            _NodeRecord() for _ in hierarchy.nodes
+        ]
+        self._caps = self._compute_caps()
+        # Full tables E[p, ., j] per node, keyed by node index then by
+        # ancestor index; entries are freed as soon as the parent has
+        # consumed them (the paper's Section 4.4 space optimization —
+        # reconstruction uses the retained choice arrays instead).
+        self._tables: Dict[int, Dict[int, np.ndarray]] = {}
+        root_bucket_table = self._solve(hierarchy.root, [])
+        self.root_table = root_bucket_table
+
+    # ------------------------------------------------------------------
+    def _compute_caps(self) -> np.ndarray:
+        """Max useful buckets per subtree (tree-knapsack bound)."""
+        caps = np.zeros(len(self.hierarchy.nodes), dtype=np.int64)
+        for p in self.hierarchy.nodes:  # postorder
+            if p.is_leaf or (self.sparse and p.n_nonzero <= 1):
+                caps[p.index] = 1
+            else:
+                caps[p.index] = min(
+                    self.budget, caps[p.left.index] + caps[p.right.index] + 1
+                )
+        return caps
+
+    def _single_nonzero_leaf(self, p: PNode) -> Optional[PNode]:
+        """The unique nonzero group leaf below ``p`` (requires
+        ``p.n_nonzero == 1``)."""
+        while not p.is_leaf:
+            p = p.left if p.left.n_nonzero == 1 else p.right
+        return p if p.kind == "group" else None
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self, p: PNode, ancestors: List[Tuple[int, float]]
+    ) -> np.ndarray:
+        """Fill this subtree's tables.
+
+        ``ancestors`` lists ``(pruned index, density)`` of every strict
+        ancestor, root-first.  Returns the node's *bucket-case* table
+        (used directly at the root); the per-ancestor full tables are
+        handed to the caller via ``_tables`` on the record.
+        """
+        rec = self.records[p.index]
+        cap = int(self._caps[p.index])
+        collapse = (not p.is_leaf) and self.sparse and p.n_nonzero <= 1
+
+        if p.is_leaf or collapse:
+            # Base: one bucket resolves this subtree exactly — a plain
+            # bucket at a leaf, or a sparse bucket over a subtree with
+            # at most one nonzero group.
+            e_b = np.full(cap + 1, INF)
+            e_b[1] = 0.0
+            rec.bucket_flag = np.full(cap + 1, _BUCKET, dtype=np.int8)
+            if collapse:
+                leaf = self._single_nonzero_leaf(p)
+                if leaf is not None:
+                    rec.sparse_at = leaf.node
+                    rec.bucket_flag[1] = _SPARSE
+            tables = {}
+            rec.flags = {}
+            for j_idx, dens in ancestors:
+                e = np.full(cap + 1, INF)
+                e[0] = self.ctx.grperr(p, dens)
+                e[1] = min(e[1], e_b[1])
+                tables[j_idx] = e
+                flags = np.full(cap + 1, _NOT_BUCKET, dtype=np.int8)
+                flags[1] = rec.bucket_flag[1]
+                rec.flags[j_idx] = flags
+            self._tables[p.index] = tables
+            return e_b
+
+        child_anc = ancestors + [(p.index, p.density)]
+        self._solve(p.left, child_anc)
+        self._solve(p.right, child_anc)
+        left_tabs = self._tables[p.left.index]
+        right_tabs = self._tables[p.right.index]
+
+        # Bucket case: one bucket on p, the rest split among children
+        # which now see p as their closest selected ancestor.
+        merged, split = knapsack_merge(
+            left_tabs[p.index], right_tabs[p.index], cap - 1,
+            self.metric.combine,
+        )
+        e_b = np.full(min(cap, len(merged)) + 1, INF)
+        upto = min(len(e_b) - 1, len(merged))
+        e_b[1 : upto + 1] = merged[: upto]
+        rec.split_b = split
+        rec.bucket_flag = np.full(len(e_b), _BUCKET, dtype=np.int8)
+
+        # Non-bucket case per enclosing ancestor.
+        rec.flags = {}
+        rec.splits_nb = {}
+        tables = {}
+        for j_idx, dens in ancestors:
+            merged_nb, split_nb = knapsack_merge(
+                left_tabs[j_idx], right_tabs[j_idx], cap,
+                self.metric.combine,
+            )
+            size = min(cap, len(merged_nb) - 1) + 1
+            e = np.full(size, INF)
+            e[:size] = merged_nb[:size]
+            flags = np.full(size, _NOT_BUCKET, dtype=np.int8)
+            lim = min(size, len(e_b))
+            better = e_b[:lim] < e[:lim]
+            e[:lim][better] = e_b[:lim][better]
+            flags[:lim][better] = rec.bucket_flag[:lim][better]
+            tables[j_idx] = e
+            rec.flags[j_idx] = flags
+            rec.splits_nb[j_idx] = split_nb
+        self._tables[p.index] = tables
+        # Child tables are no longer needed; free the bulky arrays.
+        del self._tables[p.left.index]
+        del self._tables[p.right.index]
+        return e_b
+
+    # ------------------------------------------------------------------
+    # Solution reconstruction
+    # ------------------------------------------------------------------
+    def buckets_for_budget(self, b: int) -> List[Bucket]:
+        """Materialize the optimal bucket set for budget ``b``."""
+        out: List[Bucket] = []
+        b = max(1, min(b, len(self.root_table) - 1))
+        self._collect_bucket(self.hierarchy.root, b, out)
+        return out
+
+    def _collect_bucket(self, p: PNode, b: int, out: List[Bucket]) -> None:
+        """Expand the bucket case at ``p`` with ``b`` buckets."""
+        rec = self.records[p.index]
+        b = min(b, len(rec.bucket_flag) - 1)
+        if rec.bucket_flag[b] == _SPARSE or (
+            b == 1 and rec.sparse_at is not None
+        ):
+            out.append(Bucket(p.node, sparse_group_node=rec.sparse_at))
+            return
+        out.append(Bucket(p.node))
+        if p.is_leaf or rec.split_b is None or b <= 1:
+            return
+        c = int(rec.split_b[b - 1])
+        self._collect(p.left, c, p.index, out)
+        self._collect(p.right, b - 1 - c, p.index, out)
+
+    def _collect(self, p: PNode, b: int, j_idx: int, out: List[Bucket]) -> None:
+        """Expand the full table entry E[p, b, j]."""
+        if b <= 0:
+            return
+        rec = self.records[p.index]
+        flags = rec.flags[j_idx]
+        b = min(b, len(flags) - 1)
+        if flags[b] != _NOT_BUCKET:
+            self._collect_bucket(p, b, out)
+            return
+        split_nb = rec.splits_nb[j_idx]
+        c = int(split_nb[b])
+        self._collect(p.left, c, j_idx, out)
+        self._collect(p.right, b - c, j_idx, out)
+
+
+def build_overlapping(
+    hierarchy: PrunedHierarchy,
+    metric: PenaltyMetric,
+    budget: int,
+    sparse: bool = True,
+) -> ConstructionResult:
+    """Construct the optimal overlapping partitioning function.
+
+    See :class:`OverlappingDP` for the algorithm; the returned curve
+    covers every budget up to ``budget`` from the single run.
+    """
+    dp = OverlappingDP(hierarchy, metric, budget, sparse=sparse)
+    curve = np.full(budget + 1, INF)
+    upto = min(budget, len(dp.root_table) - 1)
+    curve[1 : upto + 1] = dp.ctx.finalize_curve(dp.root_table[1 : upto + 1])
+    best = INF
+    for b in range(1, budget + 1):
+        best = min(best, curve[b])
+        curve[b] = best
+
+    def make_function(b: int) -> OverlappingPartitioning:
+        return OverlappingPartitioning(
+            hierarchy.domain, dp.buckets_for_budget(b)
+        )
+
+    return ConstructionResult(
+        make_function=make_function,
+        curve=curve,
+        budget=budget,
+        stats={"nodes": float(len(hierarchy.nodes))},
+    )

@@ -1,0 +1,17 @@
+"""Baseline histograms: the two the paper compares against in
+Section 5 — end-biased [Ioannidis & Poosala 1995] and V-Optimal
+[Jagadish et al. 1998] — plus the Haar-wavelet synopses its related
+work discusses (Section 1.2)."""
+
+from .end_biased import EndBiasedHistogram, build_end_biased
+from .v_optimal import VOptimalHistogram, build_v_optimal
+from .wavelet import WaveletHistogram, build_wavelet
+
+__all__ = [
+    "EndBiasedHistogram",
+    "build_end_biased",
+    "VOptimalHistogram",
+    "build_v_optimal",
+    "WaveletHistogram",
+    "build_wavelet",
+]

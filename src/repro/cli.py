@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Everything needed to drive the system from a shell, working on small
+portable artifact files:
+
+* a *workload* file (``.npz``) holding a subnet table and a window of
+  per-group counts;
+* a *function* file (``.bin``) holding a partitioning function in its
+  compact wire format (``.json`` also accepted).
+
+Subcommands::
+
+    python -m repro generate  --height 16 --packets 500000 -o work.npz
+    python -m repro build     work.npz --algorithm lpm_greedy \\
+                              --metric rms --budget 100 -o fn.bin
+    python -m repro evaluate  work.npz fn.bin
+    python -m repro inspect   fn.bin
+    python -m repro simulate  --height 14 --algorithm overlapping \\
+                              --budget 60 --monitors 4
+
+Run ``python -m repro <subcommand> --help`` for the full flag set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .algorithms.construct import available_algorithms, build
+from .core import (
+    GroupTable,
+    PrunedHierarchy,
+    UIDDomain,
+    available_metrics,
+    decode_function,
+    encode_function,
+    evaluate_function,
+    function_from_json,
+    function_to_json,
+    get_metric,
+    histogram_from_group_counts,
+)
+from .data import TrafficModel, generate_subnet_table, generate_trace
+from .data.traffic import generate_timestamped_trace
+from .streams import MonitoringSystem, Trace
+
+__all__ = ["main"]
+
+
+def _save_workload(path: str, table: GroupTable, counts: np.ndarray) -> None:
+    np.savez_compressed(
+        path,
+        height=np.asarray([table.domain.height]),
+        nodes=table.nodes,
+        group_ids=np.asarray([str(g) for g in table.group_ids]),
+        counts=counts,
+    )
+
+
+def _load_workload(path: str):
+    data = np.load(path, allow_pickle=False)
+    domain = UIDDomain(int(data["height"][0]))
+    table = GroupTable(
+        domain, data["nodes"].tolist(), [str(g) for g in data["group_ids"]]
+    )
+    return table, data["counts"].astype(np.float64)
+
+
+def _load_function(path: str):
+    if path.endswith(".json"):
+        with open(path) as f:
+            return function_from_json(f.read())
+    with open(path, "rb") as f:
+        return decode_function(f.read())
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    domain = UIDDomain(args.height)
+    table = generate_subnet_table(domain, seed=args.seed)
+    uids = generate_trace(
+        table, args.packets, seed=args.seed + 1, model=TrafficModel()
+    )
+    counts = table.counts_from_uids(uids)
+    _save_workload(args.output, table, counts)
+    print(
+        f"wrote {args.output}: {len(table)} groups over 2^{args.height} "
+        f"identifiers, {args.packets} packets, "
+        f"{int((counts > 0).sum())} active groups"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    table, counts = _load_workload(args.workload)
+    hierarchy = PrunedHierarchy(table, counts)
+    metric = get_metric(args.metric)
+    result = build(args.algorithm, hierarchy, metric, args.budget)
+    fn = result.function_at(args.budget)
+    if args.output.endswith(".json"):
+        with open(args.output, "w") as f:
+            f.write(function_to_json(fn))
+    else:
+        with open(args.output, "wb") as f:
+            f.write(encode_function(fn))
+    print(
+        f"wrote {args.output}: {fn.semantics} function, "
+        f"{fn.num_buckets} buckets, {fn.size_bits()} bits; "
+        f"{args.metric} error {result.error_at(args.budget):.4g}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    table, counts = _load_workload(args.workload)
+    fn = _load_function(args.function)
+    hist = histogram_from_group_counts(table, counts, fn)
+    print(f"function : {fn.semantics}, {fn.num_buckets} buckets, "
+          f"{fn.size_bits()} bits")
+    print(f"histogram: {len(hist)} nonzero buckets, "
+          f"{hist.size_bytes(table.domain)} bytes/window")
+    for name in sorted(available_metrics()):
+        metric = get_metric(name)
+        err = evaluate_function(table, counts, fn, metric, histogram=hist)
+        print(f"{name:>16}: {err:.6g}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    fn = _load_function(args.function)
+    domain = fn.domain
+    print(f"{fn.semantics} partitioning function over 2^{domain.height} "
+          f"identifiers; {fn.num_buckets} buckets, {fn.size_bits()} bits")
+    for b in fn.buckets:
+        line = f"  {domain.node_prefix_str(b.node)}"
+        if b.is_sparse:
+            line += (
+                "  [sparse; group at "
+                f"{domain.node_prefix_str(b.sparse_group_node)}]"
+            )
+        print(line)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    domain = UIDDomain(args.height)
+    table = generate_subnet_table(domain, seed=args.seed)
+    ts, uids = generate_timestamped_trace(
+        table, args.packets, duration=args.duration,
+        seed=args.seed + 1, model=TrafficModel(),
+    )
+    trace = Trace(ts, uids)
+    half = args.duration / 2
+    system = MonitoringSystem(
+        table, get_metric(args.metric), num_monitors=args.monitors,
+        algorithm=args.algorithm, budget=args.budget,
+    )
+    system.train(trace.slice_time(0, half))
+    report = system.run(
+        trace.slice_time(half, args.duration),
+        window_width=half / max(1, args.windows),
+    )
+    print(f"windows decoded   : {len(report.windows)}")
+    print(f"mean {args.metric} error: {report.mean_error:.4g}")
+    print(f"histogram bytes   : {report.upstream_bytes}")
+    print(f"function bytes    : {report.function_bytes}")
+    print(f"raw-stream bytes  : {report.raw_bytes}")
+    print(f"compression ratio : {report.compression_ratio:.1f}x")
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compact histograms for hierarchical identifiers "
+        "(Reiss, Garofalakis & Hellerstein, VLDB 2006).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic workload")
+    g.add_argument("--height", type=int, default=16,
+                   help="identifier domain height (default 16)")
+    g.add_argument("--packets", type=int, default=500_000)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("-o", "--output", required=True, help="output .npz path")
+    g.set_defaults(func=_cmd_generate)
+
+    b = sub.add_parser("build", help="construct a partitioning function")
+    b.add_argument("workload", help="workload .npz from 'generate'")
+    b.add_argument("--algorithm", default="lpm_greedy",
+                   choices=sorted(available_algorithms()))
+    b.add_argument("--metric", default="rms",
+                   choices=sorted(available_metrics()))
+    b.add_argument("--budget", type=int, default=100)
+    b.add_argument("-o", "--output", required=True,
+                   help="output .bin (wire format) or .json path")
+    b.set_defaults(func=_cmd_build)
+
+    e = sub.add_parser("evaluate",
+                       help="score a function against a workload")
+    e.add_argument("workload")
+    e.add_argument("function")
+    e.set_defaults(func=_cmd_evaluate)
+
+    i = sub.add_parser("inspect", help="print a function's buckets")
+    i.add_argument("function")
+    i.set_defaults(func=_cmd_inspect)
+
+    s = sub.add_parser("simulate",
+                       help="run the end-to-end monitoring pipeline")
+    s.add_argument("--height", type=int, default=14)
+    s.add_argument("--packets", type=int, default=200_000)
+    s.add_argument("--duration", type=float, default=60.0)
+    s.add_argument("--windows", type=int, default=4,
+                   help="live windows to decode (default 4)")
+    s.add_argument("--monitors", type=int, default=4)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--algorithm", default="lpm_greedy",
+                   choices=sorted(available_algorithms()))
+    s.add_argument("--metric", default="rms",
+                   choices=sorted(available_metrics()))
+    s.add_argument("--budget", type=int, default=80)
+    s.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

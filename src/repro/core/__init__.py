@@ -1,0 +1,74 @@
+"""Core substrates: domain arithmetic, lookup tables, error metrics,
+pruned hierarchies, partitioning functions and reconstruction."""
+
+from .domain import ROOT, UIDDomain
+from .errors import (
+    AverageError,
+    AverageRelativeError,
+    DistributiveErrorMetric,
+    MaximumRelativeError,
+    PenaltyMetric,
+    RMSError,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+from .estimate import (
+    assign_groups_to_buckets,
+    evaluate_function,
+    histogram_from_group_counts,
+    net_group_populations,
+    reconstruct_estimates,
+)
+from .groups import GroupTable
+from .hierarchy import PNode, PrunedHierarchy
+from .serialize import (
+    decode_function,
+    decode_histogram,
+    encode_function,
+    encode_histogram,
+    function_from_json,
+    function_to_json,
+)
+from .partition import (
+    Bucket,
+    Histogram,
+    LongestPrefixMatchPartitioning,
+    NonoverlappingPartitioning,
+    OverlappingPartitioning,
+    PartitioningFunction,
+)
+
+__all__ = [
+    "ROOT",
+    "UIDDomain",
+    "GroupTable",
+    "PNode",
+    "PrunedHierarchy",
+    "DistributiveErrorMetric",
+    "PenaltyMetric",
+    "RMSError",
+    "AverageError",
+    "AverageRelativeError",
+    "MaximumRelativeError",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+    "Bucket",
+    "Histogram",
+    "PartitioningFunction",
+    "NonoverlappingPartitioning",
+    "OverlappingPartitioning",
+    "LongestPrefixMatchPartitioning",
+    "assign_groups_to_buckets",
+    "histogram_from_group_counts",
+    "reconstruct_estimates",
+    "evaluate_function",
+    "net_group_populations",
+    "encode_function",
+    "decode_function",
+    "encode_histogram",
+    "decode_histogram",
+    "function_to_json",
+    "function_from_json",
+]

@@ -1,0 +1,97 @@
+"""Bit-level readers and writers for the wire formats.
+
+The whole point of the paper's partitioning functions is that they are
+*small*: each bucket is a single identifier, sparse buckets pay only an
+``O(log log |U|)`` surcharge, and histograms ship one (identifier,
+counter) pair per nonzero bucket.  The codecs in
+:mod:`repro.core.serialize` realize exactly that size model, and these
+helpers provide the MSB-first bit packing they need.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates an MSB-first bit string and renders it as bytes."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._bits = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as exactly ``width`` bits."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._value = (self._value << width) | value
+        self._bits += width
+
+    def write_unary_varint(self, value: int, chunk: int = 8) -> None:
+        """Append a nonnegative integer in continuation-bit chunks
+        (``chunk`` payload bits + 1 continuation bit per group)."""
+        if value < 0:
+            raise ValueError(f"varint values must be nonnegative: {value}")
+        groups = []
+        while True:
+            groups.append(value & ((1 << chunk) - 1))
+            value >>= chunk
+            if not value:
+                break
+        for i, g in enumerate(reversed(groups)):
+            cont = 0 if i == len(groups) - 1 else 1
+            self.write(cont, 1)
+            self.write(g, chunk)
+
+    @property
+    def bit_length(self) -> int:
+        return self._bits
+
+    def getvalue(self) -> bytes:
+        """The accumulated bits, zero-padded to a byte boundary."""
+        pad = (-self._bits) % 8
+        v = self._value << pad
+        return v.to_bytes((self._bits + pad) // 8, "big")
+
+
+class BitReader:
+    """Reads an MSB-first bit string produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._total = len(data) * 8
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width`` bits."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if self._pos + width > self._total:
+            raise EOFError(
+                f"requested {width} bits at offset {self._pos} of "
+                f"{self._total}"
+            )
+        out = 0
+        pos = self._pos
+        for _ in range(width):
+            byte = self._data[pos >> 3]
+            bit = (byte >> (7 - (pos & 7))) & 1
+            out = (out << 1) | bit
+            pos += 1
+        self._pos = pos
+        return out
+
+    def read_unary_varint(self, chunk: int = 8) -> int:
+        """Inverse of :meth:`BitWriter.write_unary_varint`."""
+        out = 0
+        while True:
+            cont = self.read(1)
+            out = (out << chunk) | self.read(chunk)
+            if not cont:
+                return out
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._total - self._pos

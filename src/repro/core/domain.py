@@ -1,0 +1,243 @@
+"""The binary hierarchy of unique identifiers (the *UID hierarchy*).
+
+The paper (Section 2) models unique identifiers as the leaves of a
+complete binary tree of height ``h``; interior nodes correspond to
+identifier *prefixes* and every subtree covers a contiguous range of
+the identifier space.  A hierarchy over a ``2**32``-address space (IPv4)
+has more than eight billion nodes, so this module never materializes
+the tree.  Instead it provides *node arithmetic* over an implicit heap
+numbering:
+
+* the root is node ``1``;
+* the children of node ``i`` are ``2 * i`` and ``2 * i + 1``;
+* the node for the ``d``-bit prefix ``p`` is ``2**d + p``;
+* the leaf for identifier ``u`` is ``2**h + u``.
+
+This numbering is exactly the one used by the paper's dynamic programs
+(Table 1), and it makes ancestor tests, least-common-ancestor
+computation and range conversions single arithmetic expressions on
+Python integers.
+
+:class:`UIDDomain` captures the height of the hierarchy and exposes the
+node arithmetic; all other modules treat node ids as plain ``int``
+values interpreted against a domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["UIDDomain", "ROOT"]
+
+#: The node id of the hierarchy root.
+ROOT = 1
+
+
+@dataclass(frozen=True)
+class UIDDomain:
+    """A ``2**height``-leaf binary identifier space.
+
+    Parameters
+    ----------
+    height:
+        Number of levels below the root; identifiers are integers in
+        ``[0, 2**height)``.  IPv4 uses ``height=32``.
+
+    Examples
+    --------
+    >>> dom = UIDDomain(3)
+    >>> dom.leaf(0b010)
+    10
+    >>> dom.node_prefix_str(dom.node(2, 0b01))
+    '01*'
+    >>> dom.uid_range(dom.node(2, 0b01))
+    (2, 4)
+    """
+
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValueError(f"height must be nonnegative, got {self.height}")
+
+    # ------------------------------------------------------------------
+    # Basic facts
+    # ------------------------------------------------------------------
+    @property
+    def num_uids(self) -> int:
+        """Size of the identifier universe ``|U|``."""
+        return 1 << self.height
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the (virtual) hierarchy."""
+        return (1 << (self.height + 1)) - 1
+
+    def contains_uid(self, uid: int) -> bool:
+        """Whether ``uid`` is a member of the identifier universe."""
+        return 0 <= uid < self.num_uids
+
+    def contains_node(self, node: int) -> bool:
+        """Whether ``node`` is a valid node id for this domain."""
+        return 1 <= node < (1 << (self.height + 1))
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def node(self, depth: int, prefix: int) -> int:
+        """The node id of the ``depth``-bit prefix ``prefix``."""
+        if not 0 <= depth <= self.height:
+            raise ValueError(f"depth {depth} out of range 0..{self.height}")
+        if not 0 <= prefix < (1 << depth):
+            raise ValueError(f"prefix {prefix:#x} does not fit in {depth} bits")
+        return (1 << depth) + prefix
+
+    def leaf(self, uid: int) -> int:
+        """The leaf node id of identifier ``uid``."""
+        if not self.contains_uid(uid):
+            raise ValueError(f"uid {uid} outside universe of size {self.num_uids}")
+        return (1 << self.height) + uid
+
+    # ------------------------------------------------------------------
+    # Node arithmetic (static where the domain is irrelevant)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def depth(node: int) -> int:
+        """Depth of ``node`` (the root has depth 0)."""
+        if node < 1:
+            raise ValueError(f"invalid node id {node}")
+        return node.bit_length() - 1
+
+    @staticmethod
+    def prefix(node: int) -> int:
+        """The prefix value encoded by ``node`` (``depth(node)`` bits)."""
+        return node - (1 << UIDDomain.depth(node))
+
+    @staticmethod
+    def parent(node: int) -> int:
+        """Parent node id; the root is its own fixed point error."""
+        if node <= 1:
+            raise ValueError("the root has no parent")
+        return node >> 1
+
+    @staticmethod
+    def children(node: int) -> Tuple[int, int]:
+        """The two child node ids ``(2 * node, 2 * node + 1)``."""
+        return (node << 1, (node << 1) | 1)
+
+    @staticmethod
+    def left_child(node: int) -> int:
+        return node << 1
+
+    @staticmethod
+    def right_child(node: int) -> int:
+        return (node << 1) | 1
+
+    @staticmethod
+    def sibling(node: int) -> int:
+        """The other child of ``node``'s parent."""
+        if node <= 1:
+            raise ValueError("the root has no sibling")
+        return node ^ 1
+
+    @staticmethod
+    def is_ancestor(anc: int, node: int) -> bool:
+        """Whether ``anc`` is an ancestor of ``node`` (or equal to it)."""
+        shift = UIDDomain.depth(node) - UIDDomain.depth(anc)
+        return shift >= 0 and (node >> shift) == anc
+
+    @staticmethod
+    def ancestor_at_depth(node: int, depth: int) -> int:
+        """The unique ancestor of ``node`` at the given depth."""
+        shift = UIDDomain.depth(node) - depth
+        if shift < 0:
+            raise ValueError(
+                f"node {node} is above depth {depth}; no ancestor there"
+            )
+        return node >> shift
+
+    @staticmethod
+    def ancestors(node: int) -> Iterator[int]:
+        """All strict ancestors of ``node``, closest first, ending at the root."""
+        node >>= 1
+        while node >= 1:
+            yield node
+            node >>= 1
+
+    @staticmethod
+    def lca(a: int, b: int) -> int:
+        """Least common ancestor of nodes ``a`` and ``b``."""
+        da, db = UIDDomain.depth(a), UIDDomain.depth(b)
+        if da > db:
+            a >>= da - db
+        elif db > da:
+            b >>= db - da
+        while a != b:
+            a >>= 1
+            b >>= 1
+        return a
+
+    # ------------------------------------------------------------------
+    # Identifier ranges
+    # ------------------------------------------------------------------
+    def uid_range(self, node: int) -> Tuple[int, int]:
+        """Half-open identifier range ``[lo, hi)`` covered by ``node``."""
+        d = self.depth(node)
+        if d > self.height:
+            raise ValueError(f"node {node} deeper than domain height {self.height}")
+        shift = self.height - d
+        lo = self.prefix(node) << shift
+        return (lo, lo + (1 << shift))
+
+    def subtree_size(self, node: int) -> int:
+        """Number of identifiers covered by ``node``."""
+        return 1 << (self.height - self.depth(node))
+
+    def node_for_range(self, lo: int, hi: int) -> int:
+        """The node covering exactly ``[lo, hi)``.
+
+        Raises :class:`ValueError` when the range is not a power-of-two
+        aligned block (i.e. not a subtree of the hierarchy).
+        """
+        size = hi - lo
+        if size <= 0 or size & (size - 1):
+            raise ValueError(f"range [{lo}, {hi}) is not a power-of-two block")
+        if lo % size:
+            raise ValueError(f"range [{lo}, {hi}) is not aligned to its size")
+        if hi > self.num_uids or lo < 0:
+            raise ValueError(f"range [{lo}, {hi}) outside the identifier universe")
+        depth = self.height - (size.bit_length() - 1)
+        return self.node(depth, lo >> (self.height - depth))
+
+    def leaf_ancestor_of(self, uid: int, depth: int) -> int:
+        """The depth-``depth`` ancestor node of identifier ``uid``."""
+        return self.ancestor_at_depth(self.leaf(uid), depth)
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def node_prefix_str(self, node: int) -> str:
+        """Render ``node`` as a bit-prefix pattern such as ``'01*'``."""
+        d = self.depth(node)
+        if d == 0:
+            return "*"
+        bits = format(self.prefix(node), f"0{d}b")
+        return bits + ("*" if d < self.height else "")
+
+    def parse_prefix_str(self, text: str) -> int:
+        """Inverse of :meth:`node_prefix_str`."""
+        body = text.rstrip("*")
+        if text == "*":
+            return ROOT
+        if not body or any(c not in "01" for c in body):
+            raise ValueError(f"malformed prefix pattern {text!r}")
+        return self.node(len(body), int(body, 2))
+
+    def describe(self, node: int) -> str:
+        """Human-readable node description for logs and error messages."""
+        lo, hi = self.uid_range(node)
+        return (
+            f"node {node} (depth {self.depth(node)}, "
+            f"prefix {self.node_prefix_str(node)}, uids [{lo}, {hi}))"
+        )

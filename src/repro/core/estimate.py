@@ -1,0 +1,218 @@
+"""Reconstructing approximate query answers from histograms.
+
+This is the Control Center half of the paper's Figure 1 pipeline: given
+a partitioning function, the static *key density table* derived from
+the lookup table, and a histogram of per-bucket counts received from a
+Monitor, produce an estimated count for every group under the standard
+uniformity assumption (Section 2.2.3):
+
+* **nonoverlapping** — each bucket's count is spread evenly over the
+  groups inside the bucket subtree;
+* **overlapping** — each group is estimated from its *closest* selected
+  ancestor's density (count of the whole subtree over groups in the
+  whole subtree);
+* **longest-prefix-match** — each group is estimated from its closest
+  ancestor bucket, whose count and group population both exclude nested
+  buckets ("holes").
+
+Sparse buckets (Section 4.3) represent their single nonzero group
+exactly and their surrounding empty region as empty.
+
+The module also provides :func:`histogram_from_group_counts`, the
+deterministic bucket-count computation used when the exact per-group
+counts of a window are known — this is what lets tests verify that a
+dynamic program's predicted error equals the error actually delivered
+by its histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .domain import UIDDomain
+from .groups import GroupTable
+from .errors import DistributiveErrorMetric
+from .partition import (
+    Histogram,
+    LongestPrefixMatchPartitioning,
+    OverlappingPartitioning,
+    PartitioningFunction,
+)
+
+__all__ = [
+    "assign_groups_to_buckets",
+    "net_group_populations",
+    "histogram_from_group_counts",
+    "reconstruct_estimates",
+    "evaluate_function",
+]
+
+
+def assign_groups_to_buckets(
+    table: GroupTable, function: PartitioningFunction
+) -> np.ndarray:
+    """For every group, the match node of its closest enclosing bucket.
+
+    Returns an int64 array parallel to the group table; groups enclosed
+    by no bucket get ``-1`` (their estimate is zero — the Control
+    Center infers emptiness for uncovered regions).
+
+    Raises :class:`ValueError` if some bucket sits strictly below a
+    group node: such a function splits a group across buckets and the
+    group-level uniformity estimator is no longer well defined.
+    """
+    assigned = np.full(len(table), -1, dtype=np.int64)
+    # Match nodes sorted shallow-to-deep; deeper assignments overwrite.
+    for node in sorted(function.match_nodes, key=UIDDomain.depth):
+        idx = table.group_indices_below(node)
+        if idx.size == 0:
+            lo, hi = table.domain.uid_range(node)
+            k = int(np.searchsorted(table.starts, lo, side="right")) - 1
+            if k >= 0 and hi <= int(table.ends[k]) and (hi - lo) < (
+                int(table.ends[k]) - int(table.starts[k])
+            ):
+                raise ValueError(
+                    f"bucket node {node} lies strictly below group node "
+                    f"{int(table.nodes[k])}; group-level estimation is undefined"
+                )
+            continue
+        assigned[idx] = node
+    return assigned
+
+
+def net_group_populations(
+    table: GroupTable, function: PartitioningFunction
+) -> Dict[int, int]:
+    """Groups per match node, net of nested buckets when the semantics
+    are longest-prefix-match (holes remove their groups from the
+    parent).  For the other semantics this is the plain key density
+    table."""
+    gross = {n: table.groups_below(n) for n in function.match_nodes}
+    if not isinstance(function, LongestPrefixMatchPartitioning):
+        return gross
+    net = dict(gross)
+    for child, parent in function.nesting_parent().items():
+        if parent is not None:
+            net[parent] -= gross[child]
+    return net
+
+
+def histogram_from_group_counts(
+    table: GroupTable,
+    counts: Sequence[float],
+    function: PartitioningFunction,
+) -> Histogram:
+    """The histogram a Monitor would emit for a window whose exact
+    per-group counts are ``counts``.
+
+    Valid whenever every bucket sits at or above the group nodes (true
+    for every function this library constructs); bucket counts are then
+    exact sums of group counts.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.shape != (len(table),):
+        raise ValueError(
+            f"expected {len(table)} group counts, got shape {counts.shape}"
+        )
+    total = float(counts.sum())
+    out: Dict[int, float] = {}
+    if isinstance(function, OverlappingPartitioning):
+        for node in function.match_nodes:
+            idx = table.group_indices_below(node)
+            c = float(counts[idx].sum())
+            if c:
+                out[node] = c
+        assigned = assign_groups_to_buckets(table, function)
+        unmatched = float(counts[assigned < 0].sum())
+    else:
+        assigned = assign_groups_to_buckets(table, function)
+        for node in function.match_nodes:
+            c = float(counts[assigned == node].sum())
+            if c:
+                out[node] = c
+        unmatched = float(counts[assigned < 0].sum())
+    return Histogram(out, unmatched=unmatched, total=total)
+
+
+def reconstruct_estimates(
+    table: GroupTable,
+    function: PartitioningFunction,
+    histogram: Histogram,
+) -> np.ndarray:
+    """Per-group estimated counts (the approximate query answer).
+
+    Returns a float64 array parallel to the group table.
+    """
+    assigned = assign_groups_to_buckets(table, function)
+    estimates = np.zeros(len(table), dtype=np.float64)
+    sparse_inner = {
+        b.sparse_group_node: b.node for b in function.buckets if b.is_sparse
+    }
+    if isinstance(function, OverlappingPartitioning):
+        populations = {n: table.groups_below(n) for n in function.match_nodes}
+        sparse_outer = _sparse_outers(function)
+        for node in function.match_nodes:
+            sel = assigned == node
+            if not sel.any():
+                continue
+            count = histogram.get(node)
+            pop = populations[node]
+            if node in sparse_inner:
+                # The inner sub-bucket of a sparse bucket: exact count.
+                estimates[sel] = count
+            elif node in sparse_outer:
+                # Residual traffic in the "empty" region, net of the
+                # inner sub-bucket, spread over the empty groups.
+                inner = sparse_outer[node]
+                residual = max(0.0, count - histogram.get(inner))
+                empties = max(1, pop - 1)
+                estimates[sel] = residual / empties
+            else:
+                estimates[sel] = count / max(1, pop)
+        return estimates
+    # Nonoverlapping and longest-prefix-match: bucket counts are already
+    # net of nested regions, so one rule covers both (and sparse buckets
+    # fall out naturally — the inner node has population 1).
+    populations = net_group_populations(table, function)
+    for node in function.match_nodes:
+        sel = assigned == node
+        if not sel.any():
+            continue
+        estimates[sel] = histogram.get(node) / max(1, populations[node])
+    return estimates
+
+
+def _sparse_outers(function: PartitioningFunction) -> Dict[int, int]:
+    """Map of sparse outer node -> its inner sub-bucket node."""
+    return {
+        b.node: b.sparse_group_node for b in function.buckets if b.is_sparse
+    }
+
+
+def evaluate_function(
+    table: GroupTable,
+    counts: Sequence[float],
+    function: PartitioningFunction,
+    metric: DistributiveErrorMetric,
+    histogram: Optional[Histogram] = None,
+    nonzero_only: bool = False,
+) -> float:
+    """End-to-end error of approximating a window with ``function``.
+
+    Builds the histogram the Monitor would send (unless one is given),
+    reconstructs per-group estimates and evaluates ``metric`` over the
+    group universe (or only over groups with nonzero actual counts when
+    ``nonzero_only`` is set).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if histogram is None:
+        histogram = histogram_from_group_counts(table, counts, function)
+    estimates = reconstruct_estimates(table, function, histogram)
+    if nonzero_only:
+        sel = counts > 0
+        if not sel.any():
+            return 0.0
+        return metric.evaluate(counts[sel], estimates[sel])
+    return metric.evaluate(counts, estimates)

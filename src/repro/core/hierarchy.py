@@ -1,0 +1,277 @@
+"""The pruned UID hierarchy the dynamic programs run on.
+
+The virtual hierarchy over a realistic identifier domain (e.g. ``2**32``
+IPv4 addresses) is astronomically large, but the paper's algorithms
+only ever examine nodes that are group nodes or their ancestors
+(Section 3.2.2), and the sparse-group refinement (Section 4.3) reduces
+that further to the *nonzero* groups plus bookkeeping for empty
+regions.  :class:`PrunedHierarchy` materializes exactly that structure:
+
+* a **group leaf** for every group with a nonzero count in the current
+  window;
+* a **branch node** for every virtual node where the induced tree
+  forks, *and* for every virtual node on a compressed path that has a
+  nonempty all-zero sibling subtree hanging off it;
+* a **zero node** summarizing each maximal all-zero sibling subtree as
+  a single ``(node, group count)`` pair.
+
+Keeping the zero-sibling attachment points is what makes the pruned
+tree *exact*: a bucket placed at any virtual node is equivalent (same
+covered groups, same covered tuples, same single-identifier cost) to a
+bucket at the nearest retained descendant, so optimizing over the
+pruned tree optimizes over the full virtual hierarchy.  Because group
+subtrees never partially overlap hierarchy subtrees, every zero-count
+group falls in exactly one zero node, and empty regions contribute to
+any error metric in O(1) via ``PenaltyMetric.repeated_penalty``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .domain import ROOT, UIDDomain
+from .groups import GroupTable
+
+__all__ = ["PNode", "PrunedHierarchy"]
+
+
+class PNode:
+    """A node of the pruned hierarchy.
+
+    Attributes
+    ----------
+    node:
+        Virtual-hierarchy node id this pruned node is anchored at.
+    kind:
+        ``"group"`` (nonzero group leaf), ``"zero"`` (summary of an
+        all-zero subtree) or ``"branch"``.
+    left, right:
+        Pruned children, ordered by identifier range (either may be
+        ``None`` only for leaves).
+    n_groups:
+        Total number of lookup-table groups in the subtree of ``node``.
+    n_nonzero:
+        Number of those groups with a nonzero count in this window.
+    tuples:
+        Total tuple count below ``node`` in this window.
+    group_index:
+        For group leaves, the group's index in the
+        :class:`~repro.core.groups.GroupTable`; ``None`` otherwise.
+    index:
+        Postorder position within the hierarchy (children precede
+        parents); assigned by :class:`PrunedHierarchy`.
+    """
+
+    __slots__ = (
+        "node",
+        "kind",
+        "left",
+        "right",
+        "parent",
+        "n_groups",
+        "n_nonzero",
+        "tuples",
+        "group_index",
+        "index",
+    )
+
+    def __init__(self, node: int, kind: str) -> None:
+        self.node = node
+        self.kind = kind
+        self.left: Optional[PNode] = None
+        self.right: Optional[PNode] = None
+        self.parent: Optional[PNode] = None
+        self.n_groups = 0
+        self.n_nonzero = 0
+        self.tuples = 0.0
+        self.group_index: Optional[int] = None
+        self.index = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def n_zero_groups(self) -> int:
+        """Groups below this node with zero count in this window."""
+        return self.n_groups - self.n_nonzero
+
+    @property
+    def density(self) -> float:
+        """Tuples per group below this node — the uniformity estimate a
+        bucket anchored here assigns to each of its groups."""
+        if self.n_groups == 0:
+            return 0.0
+        return self.tuples / self.n_groups
+
+    def children(self) -> Iterator["PNode"]:
+        if self.left is not None:
+            yield self.left
+        if self.right is not None:
+            yield self.right
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PNode({self.kind} @ {self.node}, groups={self.n_groups}, "
+            f"nonzero={self.n_nonzero}, tuples={self.tuples:g})"
+        )
+
+
+class PrunedHierarchy:
+    """The induced hierarchy over nonzero groups, with zero summaries.
+
+    Parameters
+    ----------
+    table:
+        The lookup table defining the group subtrees.
+    counts:
+        Per-group counts for the window being summarized, indexed by
+        group index (as produced by ``GroupTable.counts_from_uids``).
+    """
+
+    def __init__(self, table: GroupTable, counts: Sequence[float]) -> None:
+        self.table = table
+        self.domain = table.domain
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.shape != (len(table),):
+            raise ValueError(
+                f"expected {len(table)} group counts, got shape {counts.shape}"
+            )
+        if not np.all(np.isfinite(counts)):
+            raise ValueError("group counts must be finite")
+        if np.any(counts < 0):
+            raise ValueError("group counts must be nonnegative")
+        self.counts = counts
+        self.root = self._build()
+        self.nodes: List[PNode] = list(self._postorder(self.root))
+        for i, pnode in enumerate(self.nodes):
+            pnode.index = i
+        self.leaves = [p for p in self.nodes if p.kind == "group"]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> PNode:
+        nonzero = np.nonzero(self.counts > 0)[0]
+        if nonzero.size == 0:
+            # Degenerate window: nothing observed.  A single zero node
+            # at the root lets every algorithm return a trivial (and
+            # exact) empty histogram.
+            zero = PNode(ROOT, "zero")
+            zero.n_groups = len(self.table)
+            return zero
+        leaf_nodes = [int(self.table.nodes[g]) for g in nonzero]
+        sub = self._build_range(leaf_nodes, list(map(int, nonzero)), 0, len(leaf_nodes))
+        return self._wrap(sub, ROOT)
+
+    def _build_range(
+        self, leaf_nodes: List[int], group_idx: List[int], lo: int, hi: int
+    ) -> PNode:
+        """Build the subtree for the sorted slice ``[lo, hi)`` of nonzero
+        leaves, anchored at their least common ancestor."""
+        if hi - lo == 1:
+            leaf = PNode(leaf_nodes[lo], "group")
+            g = group_idx[lo]
+            leaf.group_index = g
+            leaf.n_groups = 1
+            leaf.n_nonzero = 1
+            leaf.tuples = float(self.counts[g])
+            return leaf
+        anchor = UIDDomain.lca(leaf_nodes[lo], leaf_nodes[hi - 1])
+        # Split the slice at the boundary between the anchor's left and
+        # right child ranges.  Groups are sorted by range start, so a
+        # binary search on the midpoint suffices.
+        lo_uid, hi_uid = self.domain.uid_range(anchor)
+        mid_uid = (lo_uid + hi_uid) // 2
+        split = lo
+        while split < hi and self.table.starts[group_idx[split]] < mid_uid:
+            split += 1
+        if split == lo or split == hi:  # pragma: no cover - defensive
+            raise AssertionError("LCA split produced an empty side")
+        left_sub = self._build_range(leaf_nodes, group_idx, lo, split)
+        right_sub = self._build_range(leaf_nodes, group_idx, split, hi)
+        left_sub = self._wrap(left_sub, UIDDomain.left_child(anchor))
+        right_sub = self._wrap(right_sub, UIDDomain.right_child(anchor))
+        branch = PNode(anchor, "branch")
+        self._attach(branch, left_sub, right_sub)
+        return branch
+
+    def _wrap(self, sub: PNode, top: int) -> PNode:
+        """Insert branch/zero nodes for every nonempty all-zero sibling
+        subtree on the virtual path from ``sub.node`` up to ``top``."""
+        cur = sub
+        child = sub.node
+        while child != top:
+            parent = UIDDomain.parent(child)
+            sib = UIDDomain.sibling(child)
+            z = self.table.groups_below(sib)
+            if z > 0:
+                zero = PNode(sib, "zero")
+                zero.n_groups = z
+                branch = PNode(parent, "branch")
+                if sib < child:  # sibling covers the lower range
+                    self._attach(branch, zero, cur)
+                else:
+                    self._attach(branch, cur, zero)
+                cur = branch
+            child = parent
+        return cur
+
+    @staticmethod
+    def _attach(parent: PNode, left: PNode, right: PNode) -> None:
+        parent.left = left
+        parent.right = right
+        left.parent = parent
+        right.parent = parent
+        parent.n_groups = left.n_groups + right.n_groups
+        parent.n_nonzero = left.n_nonzero + right.n_nonzero
+        parent.tuples = left.tuples + right.tuples
+
+    @staticmethod
+    def _postorder(root: PNode) -> Iterator[PNode]:
+        stack: List[tuple] = [(root, False)]
+        while stack:
+            pnode, expanded = stack.pop()
+            if expanded or pnode.is_leaf:
+                yield pnode
+            else:
+                stack.append((pnode, True))
+                if pnode.right is not None:
+                    stack.append((pnode.right, False))
+                if pnode.left is not None:
+                    stack.append((pnode.left, False))
+
+    # ------------------------------------------------------------------
+    # Facts
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_nonzero_groups(self) -> int:
+        return self.root.n_nonzero
+
+    @property
+    def total_tuples(self) -> float:
+        return self.root.tuples
+
+    def max_useful_buckets(self) -> int:
+        """An upper bound on the number of buckets that can still reduce
+        error: one per nonzero group plus one per zero summary."""
+        return sum(1 for p in self.nodes if p.is_leaf)
+
+    def group_counts_below(self, pnode: PNode) -> np.ndarray:
+        """Counts of every group (including zeros) below ``pnode``, in
+        group-index order.  O(groups below); used by evaluators and
+        tests, not by the dynamic programs."""
+        idx = self.table.group_indices_below(pnode.node)
+        return self.counts[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrunedHierarchy({len(self.nodes)} nodes, "
+            f"{self.num_nonzero_groups} nonzero groups, "
+            f"{self.root.n_groups} total groups)"
+        )

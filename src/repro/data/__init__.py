@@ -1,0 +1,17 @@
+"""Workload generators simulating the paper's experimental inputs:
+WHOIS-derived subnet tables, dark-address traffic traces and RFID
+identifier populations."""
+
+from .whois import generate_subnet_table, prefix_length_distribution
+from .traffic import TrafficModel, generate_trace, generate_timestamped_trace
+from .rfid import EPCScheme, generate_epc_population
+
+__all__ = [
+    "generate_subnet_table",
+    "prefix_length_distribution",
+    "TrafficModel",
+    "generate_trace",
+    "generate_timestamped_trace",
+    "EPCScheme",
+    "generate_epc_population",
+]

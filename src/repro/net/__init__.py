@@ -1,0 +1,21 @@
+"""Network-identifier substrate: IPv4 addresses, CIDR prefixes and
+longest-prefix-match tables."""
+
+from .ipaddr import (
+    format_ipv4,
+    node_to_prefix,
+    parse_cidr,
+    parse_ipv4,
+    prefix_to_node,
+)
+from .prefix_table import PrefixTable, PrefixTrie
+
+__all__ = [
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_cidr",
+    "prefix_to_node",
+    "node_to_prefix",
+    "PrefixTable",
+    "PrefixTrie",
+]

@@ -1,0 +1,82 @@
+"""IPv4 addresses and CIDR prefixes as hierarchy nodes.
+
+Network addresses are the paper's motivating unique identifiers: CIDR
+(RFC 1519) assigns organizations contiguous power-of-two blocks, so the
+set of allocated prefixes forms exactly the kind of hierarchy the
+histograms exploit.  This module converts between dotted-quad /
+``a.b.c.d/len`` notation and the node ids of a ``UIDDomain(32)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.domain import UIDDomain
+
+__all__ = [
+    "IPV4_DOMAIN",
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_cidr",
+    "format_cidr",
+    "prefix_to_node",
+    "node_to_prefix",
+]
+
+#: The full IPv4 identifier domain.
+IPV4_DOMAIN = UIDDomain(32)
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse ``'a.b.c.d'`` into a 32-bit integer identifier."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet {part!r} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format a 32-bit integer identifier as dotted-quad."""
+    if not 0 <= value < (1 << 32):
+        raise ValueError(f"value {value} is not a 32-bit address")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_cidr(text: str) -> Tuple[int, int]:
+    """Parse ``'a.b.c.d/len'`` into ``(address, prefix_length)``.
+
+    The address must be aligned to the prefix length (host bits zero).
+    """
+    addr_text, _, len_text = text.partition("/")
+    if not len_text:
+        raise ValueError(f"missing prefix length in {text!r}")
+    addr = parse_ipv4(addr_text)
+    length = int(len_text)
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length {length} out of range in {text!r}")
+    if length < 32 and addr & ((1 << (32 - length)) - 1):
+        raise ValueError(f"host bits set in prefix {text!r}")
+    return addr, length
+
+
+def format_cidr(addr: int, length: int) -> str:
+    return f"{format_ipv4(addr)}/{length}"
+
+
+def prefix_to_node(addr: int, length: int, domain: UIDDomain = IPV4_DOMAIN) -> int:
+    """The hierarchy node of the prefix ``addr/length``."""
+    if not 0 <= length <= domain.height:
+        raise ValueError(f"prefix length {length} exceeds domain height")
+    return domain.node(length, addr >> (domain.height - length))
+
+
+def node_to_prefix(node: int, domain: UIDDomain = IPV4_DOMAIN) -> Tuple[int, int]:
+    """Inverse of :func:`prefix_to_node`: ``(address, prefix_length)``."""
+    length = domain.depth(node)
+    return domain.prefix(node) << (domain.height - length), length

@@ -1,0 +1,140 @@
+"""Prefix tables and longest-prefix-match tries.
+
+A :class:`PrefixTable` is a set of identifier prefixes (hierarchy
+nodes) with payloads — the shape of a router's forwarding table, of the
+WHOIS-derived subnet table in the paper's evaluation, and of the bucket
+sets of the partitioning functions themselves.  :class:`PrefixTrie`
+supports the two lookups the system needs:
+
+* ``longest_match`` — the deepest stored prefix covering an identifier
+  (how longest-prefix-match partitioning functions route identifiers to
+  buckets, Section 2.1.3);
+* ``all_matches`` — every stored prefix covering an identifier (the
+  overlapping semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.domain import UIDDomain
+
+__all__ = ["PrefixTable", "PrefixTrie"]
+
+
+class PrefixTrie:
+    """A binary trie over hierarchy nodes.
+
+    Stored entries are node ids; the trie structure follows the node's
+    bit path from the root.  All operations are O(height).
+    """
+
+    __slots__ = ("domain", "_payloads")
+
+    def __init__(self, domain: UIDDomain) -> None:
+        self.domain = domain
+        self._payloads: Dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._payloads
+
+    def insert(self, node: int, payload: object = None) -> None:
+        if not self.domain.contains_node(node):
+            raise ValueError(f"invalid node {node} for {self.domain}")
+        self._payloads[node] = payload
+
+    def remove(self, node: int) -> None:
+        del self._payloads[node]
+
+    def get(self, node: int) -> object:
+        return self._payloads[node]
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._payloads)
+
+    # -- lookups ---------------------------------------------------------
+    def longest_match(self, uid: int) -> Optional[int]:
+        """The deepest stored node whose subtree contains ``uid``."""
+        node = self.domain.leaf(uid)
+        while node >= 1:
+            if node in self._payloads:
+                return node
+            node >>= 1
+        return None
+
+    def all_matches(self, uid: int) -> List[int]:
+        """Every stored node covering ``uid``, shallowest first."""
+        out: List[int] = []
+        node = self.domain.leaf(uid)
+        while node >= 1:
+            if node in self._payloads:
+                out.append(node)
+            node >>= 1
+        out.reverse()
+        return out
+
+    def lookup(self, uid: int) -> object:
+        """Payload of the longest match (``KeyError`` if none)."""
+        node = self.longest_match(uid)
+        if node is None:
+            raise KeyError(f"no prefix covers uid {uid}")
+        return self._payloads[node]
+
+
+class PrefixTable:
+    """An ordered table of (prefix node, payload) rows.
+
+    Provides coverage/overlap checks and conversion to the trie and to
+    :class:`~repro.core.groups.GroupTable` inputs.
+    """
+
+    def __init__(self, domain: UIDDomain) -> None:
+        self.domain = domain
+        self.rows: List[Tuple[int, object]] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add(self, node: int, payload: object = None) -> None:
+        if not self.domain.contains_node(node):
+            raise ValueError(f"invalid node {node} for {self.domain}")
+        self.rows.append((node, payload))
+
+    def extend(self, nodes: Iterable[int]) -> None:
+        for node in nodes:
+            self.add(node)
+
+    def nodes(self) -> List[int]:
+        return [node for node, _ in self.rows]
+
+    def sorted_by_range(self) -> List[Tuple[int, object]]:
+        return sorted(self.rows, key=lambda row: self.domain.uid_range(row[0]))
+
+    def is_nonoverlapping(self) -> bool:
+        ranges = sorted(self.domain.uid_range(n) for n, _ in self.rows)
+        return all(a[1] <= b[0] for a, b in zip(ranges, ranges[1:]))
+
+    def covers_domain(self) -> bool:
+        if not self.rows:
+            return False
+        ranges = sorted(self.domain.uid_range(n) for n, _ in self.rows)
+        if ranges[0][0] != 0 or ranges[-1][1] != self.domain.num_uids:
+            return False
+        return all(a[1] >= b[0] for a, b in zip(ranges, ranges[1:]))
+
+    def to_trie(self) -> PrefixTrie:
+        trie = PrefixTrie(self.domain)
+        for node, payload in self.rows:
+            trie.insert(node, payload)
+        return trie
+
+    def prefix_length_distribution(self) -> Dict[int, int]:
+        """Count of prefixes per length — the Figure 15 series."""
+        out: Dict[int, int] = {}
+        for node, _ in self.rows:
+            d = UIDDomain.depth(node)
+            out[d] = out.get(d, 0) + 1
+        return out

@@ -1,0 +1,33 @@
+"""The distributed stream-monitoring substrate (paper Figure 1):
+Monitors partition identifier streams into compact histograms; the
+Control Center builds the partitioning functions and reconstructs
+approximate grouped-aggregation answers."""
+
+from .tuples import Trace
+from .windows import SlidingWindows, TumblingWindows, Window
+from .query import exact_group_counts, GroupedAggregationQuery
+from .monitor import HistogramMessage, Monitor
+from .channel import Channel
+from .control_center import ControlCenter
+from .system import MonitoringSystem, SystemReport, WindowReport
+from .recalibrate import AdaptiveMonitoringSystem, BucketDriftDetector
+from .panes import PaneAggregator
+
+__all__ = [
+    "Trace",
+    "Window",
+    "TumblingWindows",
+    "SlidingWindows",
+    "exact_group_counts",
+    "GroupedAggregationQuery",
+    "Monitor",
+    "HistogramMessage",
+    "Channel",
+    "ControlCenter",
+    "MonitoringSystem",
+    "SystemReport",
+    "WindowReport",
+    "BucketDriftDetector",
+    "AdaptiveMonitoringSystem",
+    "PaneAggregator",
+]

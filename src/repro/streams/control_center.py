@@ -1,0 +1,107 @@
+"""The Control Center (paper Figure 1, right).
+
+The Control Center owns the full lookup table.  Periodically it runs a
+construction algorithm over the recent history of the identifier stream
+to (re)build the partitioning function it pushes to the Monitors; for
+each incoming window it merges the Monitors' histograms (count
+histograms merge by bucket-wise addition) and joins the result with the
+key density table to produce the approximate group-by answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.construct import build
+from ..core.errors import DistributiveErrorMetric, PenaltyMetric
+from ..core.estimate import reconstruct_estimates
+from ..core.groups import GroupTable
+from ..core.hierarchy import PrunedHierarchy
+from ..core.partition import Histogram, PartitioningFunction
+from .monitor import HistogramMessage
+
+__all__ = ["ControlCenter"]
+
+
+class ControlCenter:
+    """Builds partitioning functions and decodes histogram streams."""
+
+    def __init__(
+        self,
+        table: GroupTable,
+        metric: PenaltyMetric,
+        algorithm: str = "lpm_greedy",
+        budget: int = 100,
+        **builder_options,
+    ) -> None:
+        self.table = table
+        self.metric = metric
+        self.algorithm = algorithm
+        self.budget = budget
+        self.builder_options = builder_options
+        self.function: Optional[PartitioningFunction] = None
+        self.function_version = -1
+
+    # -- function construction -------------------------------------------
+    def rebuild_function(
+        self, history_counts: Sequence[float]
+    ) -> PartitioningFunction:
+        """(Re)build the partitioning function from past per-group
+        counts (typically loaded from the warehouse of Monitor logs)."""
+        hierarchy = PrunedHierarchy(
+            self.table, np.asarray(history_counts, dtype=np.float64)
+        )
+        result = build(
+            self.algorithm, hierarchy, self.metric, self.budget,
+            **self.builder_options,
+        )
+        self.function = result.function_at(self.budget)
+        self.function_version += 1
+        return self.function
+
+    # -- decoding ----------------------------------------------------------
+    @staticmethod
+    def merge_histograms(messages: Sequence[HistogramMessage]) -> Histogram:
+        """Merge one window's histograms from all Monitors (count
+        aggregates are distributive: bucket-wise sums)."""
+        return Histogram.merge(msg.histogram for msg in messages)
+
+    def decode(self, messages: Sequence[HistogramMessage]) -> np.ndarray:
+        """Approximate per-group counts for one window."""
+        if self.function is None:
+            raise RuntimeError("no partitioning function built yet")
+        stale = [
+            m for m in messages if m.function_version != self.function_version
+        ]
+        if stale:
+            raise ValueError(
+                f"{len(stale)} histogram(s) built with a stale partitioning "
+                f"function (expected version {self.function_version})"
+            )
+        merged = self.merge_histograms(messages)
+        return reconstruct_estimates(self.table, self.function, merged)
+
+    def approximate_answer(
+        self, messages: Sequence[HistogramMessage]
+    ) -> Dict[object, float]:
+        """The approximate group-by result keyed by group id (groups
+        estimated nonzero only — Section 4.3 notes decode time is
+        proportional to these)."""
+        estimates = self.decode(messages)
+        return {
+            self.table.group_ids[i]: float(v)
+            for i, v in enumerate(estimates)
+            if v > 0
+        }
+
+    def error(
+        self,
+        estimates: np.ndarray,
+        actual: Sequence[float],
+        metric: Optional[DistributiveErrorMetric] = None,
+    ) -> float:
+        """Score an approximate answer against the exact one."""
+        metric = metric or self.metric
+        return metric.evaluate(np.asarray(actual, dtype=np.float64), estimates)

@@ -1,0 +1,79 @@
+"""The remote Monitor (paper Figure 1, left).
+
+A Monitor holds the current partitioning function pushed to it by the
+Control Center, partitions each window of identifiers it observes into
+per-bucket aggregates, and emits the resulting histogram.  Its
+resources are assumed limited: partitioning one identifier is a single
+O(height) prefix lookup and the state kept per window is one counter
+per (nonzero) bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.partition import Histogram, PartitioningFunction
+
+__all__ = ["HistogramMessage", "Monitor"]
+
+
+@dataclass(frozen=True)
+class HistogramMessage:
+    """One Monitor-to-Control-Center message: a window's histogram."""
+
+    monitor: str
+    window_index: int
+    histogram: Histogram
+    function_version: int
+
+    def size_bytes(self, domain, counter_bits: int = 32) -> int:
+        # window index + version header, then the histogram payload.
+        return 8 + self.histogram.size_bytes(domain, counter_bits)
+
+
+class Monitor:
+    """A remote observation point partitioning its identifier stream."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.function: Optional[PartitioningFunction] = None
+        self.function_version = -1
+        self.windows_processed = 0
+        self.tuples_processed = 0
+
+    def install_function(
+        self, function: PartitioningFunction, version: int
+    ) -> None:
+        """Accept a (new) partitioning function from the Control
+        Center."""
+        self.function = function
+        self.function_version = version
+
+    def process_window(
+        self,
+        window_index: int,
+        uids: Sequence[int],
+        values: Optional[Sequence[float]] = None,
+    ) -> HistogramMessage:
+        """Partition one window of identifiers into a histogram.
+
+        Pass a per-tuple ``values`` vector to aggregate sum(value)
+        instead of count(*) — e.g. bytes per packet.
+        """
+        if self.function is None:
+            raise RuntimeError(
+                f"monitor {self.name!r} has no partitioning function installed"
+            )
+        uids = np.asarray(uids, dtype=np.int64)
+        histogram = self.function.build_histogram(uids, values=values)
+        self.windows_processed += 1
+        self.tuples_processed += int(uids.size)
+        return HistogramMessage(
+            monitor=self.name,
+            window_index=window_index,
+            histogram=histogram,
+            function_version=self.function_version,
+        )

@@ -1,0 +1,83 @@
+"""Pane-based sliding-window histograms.
+
+The paper's target query aggregates over a *sliding* window
+(Section 2.2.2), but shipping a histogram per slide would recount every
+overlapping tuple.  The standard streaming fix applies directly because
+count histograms are distributive: the Monitor aggregates per *pane*
+(the gcd of window width and slide), and each sliding window's
+histogram is the bucket-wise merge of the panes it spans — every tuple
+is partitioned exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Iterator, Tuple
+
+from ..core.partition import Histogram, PartitioningFunction
+from .tuples import Trace
+from .windows import TumblingWindows
+
+__all__ = ["PaneAggregator"]
+
+
+def _float_gcd(a: float, b: float, tol: float = 1e-9) -> float:
+    while b > tol:
+        a, b = b, a % b
+    return a
+
+
+class PaneAggregator:
+    """Computes sliding-window histograms from per-pane histograms.
+
+    Parameters
+    ----------
+    function:
+        The partitioning function installed on the Monitor.
+    width / slide:
+        Sliding-window geometry; the pane size is their gcd, so both
+        must be (approximate) multiples of a common unit.
+    """
+
+    def __init__(
+        self,
+        function: PartitioningFunction,
+        width: float,
+        slide: float,
+    ) -> None:
+        if width <= 0 or slide <= 0:
+            raise ValueError("width and slide must be positive")
+        if slide > width:
+            raise ValueError(
+                f"slide {slide} exceeds width {width}; windows would skip "
+                "tuples — use tumbling windows instead"
+            )
+        self.function = function
+        self.width = width
+        self.slide = slide
+        self.pane = _float_gcd(width, slide)
+        self.panes_per_window = round(width / self.pane)
+        self.panes_per_slide = round(slide / self.pane)
+        if not math.isclose(self.panes_per_window * self.pane, width,
+                            rel_tol=1e-6):
+            raise ValueError(
+                f"width {width} and slide {slide} share no usable pane size"
+            )
+
+    def windows(self, trace: Trace) -> Iterator[Tuple[int, Histogram]]:
+        """Yield ``(window_index, histogram)`` for every full sliding
+        window in the trace.  Each tuple is partitioned exactly once
+        (into its pane); window histograms are pane merges."""
+        buffer: Deque[Histogram] = deque(maxlen=self.panes_per_window)
+        index = 0
+        panes_since_emit = self.panes_per_slide  # emit on first full fill
+        for pane_window in TumblingWindows(self.pane).segment(trace):
+            buffer.append(self.function.build_histogram(pane_window.uids))
+            if len(buffer) < self.panes_per_window:
+                continue
+            panes_since_emit += 1
+            if panes_since_emit >= self.panes_per_slide:
+                panes_since_emit = 0
+                yield index, Histogram.merge(buffer)
+                index += 1

@@ -1,0 +1,211 @@
+"""Histogram recalibration under traffic drift.
+
+The paper's deployment section leaves open "practical challenges in
+terms of when and how to recalibrate the histograms based on the
+history of the UID stream" (Section 6).  This module implements the
+natural design:
+
+* :class:`BucketDriftDetector` — the Control Center cannot see raw
+  identifiers, but it *can* watch the histograms themselves: the
+  normalized per-bucket distribution of each window is compared (total
+  variation distance) against the distribution the function was trained
+  on, and identifiers that match no bucket are counted.  Sustained
+  drift beyond a threshold recommends a rebuild.
+* :class:`AdaptiveMonitoringSystem` — a monitoring system that retrains
+  its partitioning function from the warehouse of past windows whenever
+  the detector fires (the paper notes Monitors' logs reach a warehouse
+  on a non-real-time basis, so exact history is available for
+  *re*construction even though live decoding is approximate).
+
+Rebuilds cost downstream bandwidth (the new function must be installed
+on every Monitor), which the channel accounts for as usual — the bench
+harness measures the drift/accuracy/bandwidth triangle this creates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.partition import Histogram
+from .system import MonitoringSystem, SystemReport, WindowReport
+from .query import exact_group_counts
+from .tuples import Trace
+from .windows import TumblingWindows
+
+__all__ = ["BucketDriftDetector", "AdaptiveMonitoringSystem"]
+
+
+class BucketDriftDetector:
+    """Detects distribution drift from histogram streams alone.
+
+    Parameters
+    ----------
+    threshold:
+        Total-variation distance (plus unmatched fraction) above which
+        a window counts as drifted.
+    patience:
+        Number of consecutive drifted windows before recommending a
+        rebuild (a single bursty window should not retrain the world).
+    """
+
+    def __init__(self, threshold: float = 0.25, patience: int = 2) -> None:
+        if not 0 < threshold <= 2:
+            raise ValueError(f"threshold must be in (0, 2], got {threshold}")
+        if patience < 1:
+            raise ValueError(f"patience must be at least 1, got {patience}")
+        self.threshold = threshold
+        self.patience = patience
+        self._reference: Optional[Dict[int, float]] = None
+        self._streak = 0
+        self.last_score = 0.0
+
+    @staticmethod
+    def _normalize(hist: Histogram) -> Dict[int, float]:
+        total = sum(hist.counts.values()) + hist.unmatched
+        if total <= 0:
+            return {}
+        return {node: c / total for node, c in hist.counts.items()}
+
+    def set_reference(self, histogram: Histogram) -> None:
+        """Anchor the detector to the traffic the function was built
+        for (typically the first live window after training)."""
+        self._reference = self._normalize(histogram)
+        self._streak = 0
+
+    def score(self, histogram: Histogram) -> float:
+        """Drift of one window: total-variation distance between bucket
+        distributions, plus the unmatched-traffic fraction."""
+        if self._reference is None:
+            return 0.0
+        current = self._normalize(histogram)
+        nodes = set(self._reference) | set(current)
+        tv = 0.5 * sum(
+            abs(self._reference.get(n, 0.0) - current.get(n, 0.0))
+            for n in nodes
+        )
+        total = sum(histogram.counts.values()) + histogram.unmatched
+        unmatched = histogram.unmatched / total if total > 0 else 0.0
+        return tv + unmatched
+
+    def observe(self, histogram: Histogram) -> bool:
+        """Feed one window's merged histogram; returns True when a
+        rebuild is recommended."""
+        if self._reference is None:
+            self.set_reference(histogram)
+            return False
+        self.last_score = self.score(histogram)
+        if self.last_score > self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.patience:
+            self._streak = 0
+            return True
+        return False
+
+
+@dataclass
+class AdaptiveReport(SystemReport):
+    """System report extended with recalibration events."""
+
+    rebuilds: List[int] = field(default_factory=list)
+    drift_scores: List[float] = field(default_factory=list)
+
+
+class AdaptiveMonitoringSystem(MonitoringSystem):
+    """A monitoring system that retrains on detected drift.
+
+    The warehouse keeps the exact counts of recent windows (Monitors'
+    logs); on a rebuild the partitioning function is reconstructed from
+    the last ``warehouse_windows`` of them and re-installed on every
+    Monitor.
+    """
+
+    def __init__(
+        self,
+        *args,
+        detector: Optional[BucketDriftDetector] = None,
+        warehouse_windows: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if warehouse_windows < 1:
+            raise ValueError("warehouse_windows must be at least 1")
+        self.detector = detector or BucketDriftDetector()
+        self.warehouse_windows = warehouse_windows
+        self._warehouse: List[np.ndarray] = []
+
+    def _install(self, counts: np.ndarray) -> None:
+        function = self.control_center.rebuild_function(counts)
+        for monitor in self.monitors:
+            self.channel.send_function(function)
+            monitor.install_function(
+                function, self.control_center.function_version
+            )
+
+    def run(
+        self,
+        live: Trace,
+        window_width: float,
+        split_seed: int = 0,
+    ) -> AdaptiveReport:
+        if self.control_center.function is None:
+            raise RuntimeError("call train() before run()")
+        report = AdaptiveReport(
+            function_bytes=self.channel.downstream_bytes
+        )
+        shares = live.split(len(self.monitors), seed=split_seed)
+        windows = TumblingWindows(window_width)
+        segmented = [list(windows.segment(share)) for share in shares]
+        n_windows = max((len(s) for s in segmented), default=0)
+        for w in range(n_windows):
+            messages = []
+            window_uids = []
+            for monitor, segs in zip(self.monitors, segmented):
+                if w >= len(segs):
+                    continue
+                window = segs[w]
+                msg = monitor.process_window(window.index, window.uids)
+                self.channel.send_histogram(msg)
+                messages.append(msg)
+                window_uids.append(window.uids)
+            if not messages:
+                continue
+            uids = np.concatenate(window_uids)
+            actual = exact_group_counts(self.table, uids)
+            estimates = self.control_center.decode(messages)
+            error = self.control_center.error(estimates, actual)
+            merged = self.control_center.merge_histograms(messages)
+            hist_bytes = sum(
+                m.size_bytes(self.table.domain) for m in messages
+            )
+            raw = self.channel.raw_stream_bytes(int(uids.size))
+            report.windows.append(
+                WindowReport(
+                    window_index=w,
+                    tuples=int(uids.size),
+                    error=error,
+                    histogram_bytes=hist_bytes,
+                    raw_bytes=raw,
+                    nonzero_buckets=sum(len(m.histogram) for m in messages),
+                )
+            )
+            report.raw_bytes += raw
+            # Warehouse logging (non-real-time in a deployment).
+            self._warehouse.append(actual)
+            if len(self._warehouse) > self.warehouse_windows:
+                self._warehouse.pop(0)
+            # Drift decision from the histogram stream alone.
+            rebuild = self.detector.observe(merged)
+            report.drift_scores.append(self.detector.last_score)
+            if rebuild:
+                history = np.sum(self._warehouse, axis=0)
+                self._install(history)
+                self.detector._reference = None  # re-anchor next window
+                report.rebuilds.append(w)
+        report.upstream_bytes = self.channel.upstream_bytes
+        report.function_bytes = self.channel.downstream_bytes
+        return report

@@ -1,0 +1,82 @@
+"""Window operators over identifier streams.
+
+The paper's target query aggregates over a sliding window
+(Section 2.2.2).  Histograms are per-window messages, so the substrate
+provides both tumbling windows (the common deployment: one histogram
+per period) and overlapping sliding windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .tuples import Trace
+
+__all__ = ["Window", "TumblingWindows", "SlidingWindows"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One window of a stream: its time extent and the identifiers in
+    it."""
+
+    index: int
+    start: float
+    end: float
+    uids: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.uids.size)
+
+
+class TumblingWindows:
+    """Non-overlapping fixed-width windows."""
+
+    def __init__(self, width: float) -> None:
+        if width <= 0:
+            raise ValueError(f"window width must be positive, got {width}")
+        self.width = width
+
+    def segment(self, trace: Trace) -> Iterator[Window]:
+        if not len(trace):
+            return
+        t0 = float(trace.timestamps[0])
+        t_end = float(trace.timestamps[-1])
+        index = 0
+        start = t0
+        while start <= t_end:
+            end = start + self.width
+            piece = trace.slice_time(start, end)
+            yield Window(index, start, end, piece.uids)
+            index += 1
+            start = end
+
+
+class SlidingWindows:
+    """Fixed-width windows advancing by a (smaller) slide step."""
+
+    def __init__(self, width: float, slide: float) -> None:
+        if width <= 0 or slide <= 0:
+            raise ValueError("window width and slide must be positive")
+        if slide > width:
+            raise ValueError(
+                f"slide {slide} exceeds width {width}; use TumblingWindows"
+            )
+        self.width = width
+        self.slide = slide
+
+    def segment(self, trace: Trace) -> Iterator[Window]:
+        if not len(trace):
+            return
+        t0 = float(trace.timestamps[0])
+        t_end = float(trace.timestamps[-1])
+        index = 0
+        start = t0
+        while start <= t_end:
+            piece = trace.slice_time(start, start + self.width)
+            yield Window(index, start, start + self.width, piece.uids)
+            index += 1
+            start = t0 + index * self.slide

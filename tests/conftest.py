@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GroupTable, PrunedHierarchy, UIDDomain
+
+
+@pytest.fixture
+def small_instance():
+    """A deterministic small instance shared across tests."""
+    dom = UIDDomain(4)
+    table = GroupTable(dom, [dom.node(4, p) for p in range(16)])
+    counts = np.array(
+        [0, 0, 5, 0, 90, 88, 0, 0, 0, 1, 2, 0, 0, 40, 0, 0], dtype=float
+    )
+    return dom, table, counts
+
+
+@pytest.fixture
+def small_hierarchy(small_instance):
+    _dom, table, counts = small_instance
+    return PrunedHierarchy(table, counts)

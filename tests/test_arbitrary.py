@@ -1,0 +1,127 @@
+"""Tests for arbitrary-fanout hierarchies (paper Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrunedHierarchy,
+    UIDDomain,
+    build_overlapping,
+    evaluate_function,
+    get_metric,
+)
+from repro.algorithms import ArbitraryHierarchy
+
+
+@pytest.fixture
+def figure11():
+    """The Figure 11 example: a root with four children a..d."""
+    h = ArbitraryHierarchy("root")
+    for label in "abcd":
+        h.add(None, label)
+    h.finalize()
+    return h
+
+
+class TestConversion:
+    def test_fanout4_uses_two_bits(self, figure11):
+        assert figure11.domain.height == 2
+
+    def test_children_get_disjoint_blocks(self, figure11):
+        nodes = [figure11.binary_node(c) for c in figure11.root.children]
+        assert len(set(nodes)) == 4
+        ranges = sorted(figure11.domain.uid_range(n) for n in nodes)
+        for (alo, ahi), (blo, _bhi) in zip(ranges, ranges[1:]):
+            assert ahi <= blo
+
+    def test_synthetic_nodes_are_child_runs(self, figure11):
+        # binary node 2 covers children {a, b} (Figure 11's left run)
+        desc = figure11.describe_binary_node(2)
+        assert "{" in desc and "a" in desc and "b" in desc
+
+    def test_real_node_description(self, figure11):
+        a = figure11.root.children[0]
+        assert figure11.describe_binary_node(
+            figure11.binary_node(a)
+        ).endswith("a")
+
+    def test_non_power_of_two_fanout_leaves_gaps(self):
+        h = ArbitraryHierarchy()
+        for label in ("x", "y", "z"):  # fanout 3 -> 2 bits, one gap
+            h.add(None, label)
+        dom = h.finalize()
+        assert dom.height == 2
+        used = {h.binary_node(c) for c in h.root.children}
+        assert len(used) == 3
+
+    def test_fanout_one_still_distinct(self):
+        h = ArbitraryHierarchy()
+        a = h.add(None, "a")
+        b = h.add(a, "b")
+        h.finalize()
+        assert h.binary_node(a) != h.binary_node(b)
+        assert UIDDomain.is_ancestor(h.binary_node(a), h.binary_node(b))
+
+    def test_add_after_finalize_rejected(self, figure11):
+        with pytest.raises(RuntimeError):
+            figure11.add(None, "late")
+
+    def test_domain_before_finalize_rejected(self):
+        h = ArbitraryHierarchy()
+        h.add(None, "a")
+        with pytest.raises(RuntimeError):
+            _ = h.domain
+
+
+class TestAddPath:
+    def test_paths_share_prefixes(self):
+        h = ArbitraryHierarchy()
+        l1 = h.add_path(["us", "ca", "sf"])
+        l2 = h.add_path(["us", "ca", "la"])
+        l3 = h.add_path(["us", "ny"])
+        assert l1.parent is l2.parent
+        assert l3.parent is l1.parent.parent
+        h.finalize()
+        assert UIDDomain.is_ancestor(
+            h.binary_node(l1.parent), h.binary_node(l1)
+        )
+
+    def test_leaf_uid(self):
+        h = ArbitraryHierarchy()
+        leaf = h.add_path(["a", "b"])
+        h.finalize()
+        uid = h.leaf_uid(leaf)
+        lo, hi = h.domain.uid_range(h.binary_node(leaf))
+        assert lo <= uid < hi
+
+    def test_leaf_uid_rejects_interior(self):
+        h = ArbitraryHierarchy()
+        a = h.add(None, "a")
+        h.add(a, "b")
+        h.finalize()
+        with pytest.raises(ValueError):
+            h.leaf_uid(a)
+
+
+class TestEndToEnd:
+    def test_histograms_over_arbitrary_hierarchy(self):
+        """Run the full 1-D machinery over a converted 3-level,
+        mixed-fanout hierarchy (supply-chain shaped)."""
+        h = ArbitraryHierarchy()
+        rng = np.random.default_rng(4)
+        leaves = []
+        for s in range(3):  # 3 suppliers
+            for p in range(5):  # 5 products each (fanout 5 -> gaps)
+                leaves.append(h.add_path([f"s{s}", f"p{p}"]))
+        h.finalize()
+        table = h.group_table(leaves)
+        counts = rng.integers(0, 50, len(table)).astype(float)
+        hier = PrunedHierarchy(table, counts)
+        metric = get_metric("rms")
+        res = build_overlapping(hier, metric, 5)
+        fn = res.function_at(5)
+        measured = evaluate_function(table, counts, fn, metric)
+        assert measured == pytest.approx(res.error_at(5), abs=1e-9)
+        # rendering bucket nodes in hierarchy terms always succeeds
+        for b in fn.buckets:
+            assert isinstance(h.describe_binary_node(b.node), str)

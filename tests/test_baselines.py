@@ -1,0 +1,141 @@
+"""Tests for the end-biased and V-Optimal baselines (Section 5)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro import GroupTable, UIDDomain, get_metric
+from repro.baselines import build_end_biased, build_v_optimal
+
+from helpers import random_instance
+
+
+class TestEndBiased:
+    @pytest.fixture
+    def setup(self):
+        dom = UIDDomain(4)
+        table = GroupTable(dom, [dom.node(4, p) for p in range(16)])
+        counts = np.array(
+            [9, 0, 0, 50, 2, 2, 2, 0, 0, 0, 100, 1, 1, 0, 0, 0], float
+        )
+        return table, counts
+
+    def test_top_groups_exact(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 4)
+        est = eb.estimates(4)
+        assert est[10] == 100 and est[3] == 50 and est[0] == 9
+
+    def test_remainder_uniform(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 3)
+        est = eb.estimates(3)
+        rest = counts.sum() - 100 - 50
+        assert est[0] == pytest.approx(rest / 14)
+
+    def test_mass_conserved(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 5)
+        for b in (1, 2, 5):
+            assert eb.estimates(b).sum() == pytest.approx(counts.sum())
+
+    def test_budget_one_all_uniform(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 1)
+        est = eb.estimates(1)
+        assert np.allclose(est, counts.mean())
+
+    def test_budget_covers_all_groups_zero_error(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 17)
+        m = get_metric("rms")
+        # all 16 groups singled out (b-1 = 16) -> exact
+        assert eb.error(m, 17) == pytest.approx(0.0)
+
+    def test_error_curve_monotone(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 16)
+        curve = eb.error_curve(get_metric("rms"))
+        assert np.all(np.diff(curve[1:]) <= 1e-9)
+
+    def test_size_grows_linearly(self, setup):
+        table, counts = setup
+        eb = build_end_biased(table, counts, 8)
+        assert eb.size_bits(5) > eb.size_bits(2)
+
+    def test_bad_budget_rejected(self, setup):
+        table, counts = setup
+        with pytest.raises(ValueError):
+            build_end_biased(table, counts, 0)
+
+    def test_deterministic_tiebreak(self, setup):
+        table, _ = setup
+        counts = np.ones(16)
+        eb = build_end_biased(table, counts, 4)
+        assert list(eb.order[:3]) == [0, 1, 2]
+
+
+class TestVOptimal:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_sse(self, seed):
+        _dom, table, counts = random_instance(seed, height_range=(3, 5))
+        vo = build_v_optimal(table, counts, 5)
+        nz = counts[counts > 0]
+        n = len(nz)
+        for b in range(1, min(5, n) + 1):
+            best = np.inf
+            for cuts in combinations(range(1, n), b - 1):
+                bounds = [0] + list(cuts) + [n]
+                sse = sum(
+                    float(((nz[i:j] - nz[i:j].mean()) ** 2).sum())
+                    for i, j in zip(bounds, bounds[1:])
+                )
+                best = min(best, sse)
+            assert vo.sse(b) == pytest.approx(best, abs=1e-9)
+
+    def test_zero_groups_estimated_zero(self):
+        dom = UIDDomain(3)
+        table = GroupTable(dom, [dom.node(3, p) for p in range(8)])
+        counts = np.array([0, 5, 0, 0, 7, 0, 0, 0], float)
+        vo = build_v_optimal(table, counts, 2)
+        est = vo.estimates(2)
+        assert est[0] == 0 and est[2] == 0
+        assert est[1] == 5 and est[4] == 7
+
+    def test_boundaries_partition(self, small_instance):
+        _dom, table, counts = small_instance
+        vo = build_v_optimal(table, counts, 3)
+        bounds = vo.boundaries(3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == int((counts > 0).sum())
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c
+
+    def test_all_zero_counts(self):
+        dom = UIDDomain(3)
+        table = GroupTable(dom, [dom.node(3, p) for p in range(8)])
+        vo = build_v_optimal(table, np.zeros(8), 3)
+        assert vo.sse(3) == 0.0
+        assert np.all(vo.estimates(3) == 0)
+        assert vo.error(get_metric("rms"), 3) == 0.0
+
+    def test_curve_monotone(self, small_instance):
+        _dom, table, counts = small_instance
+        vo = build_v_optimal(table, counts, 5)
+        curve = vo.error_curve(get_metric("rms"))
+        assert np.all(np.diff(curve[1:]) <= 1e-9)
+
+    def test_full_budget_exact(self, small_instance):
+        _dom, table, counts = small_instance
+        n = int((counts > 0).sum())
+        vo = build_v_optimal(table, counts, n)
+        assert vo.sse(n) == pytest.approx(0.0)
+        assert vo.error(get_metric("average"), n) == pytest.approx(0.0)
+
+    def test_bad_inputs_rejected(self, small_instance):
+        _dom, table, counts = small_instance
+        with pytest.raises(ValueError):
+            build_v_optimal(table, counts, 0)
+        with pytest.raises(ValueError):
+            build_v_optimal(table, counts[:3], 2)

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import decode_function, function_from_json
+
+
+@pytest.fixture
+def workload(tmp_path):
+    path = str(tmp_path / "w.npz")
+    assert main(["generate", "--height", "10", "--packets", "20000",
+                 "--seed", "3", "-o", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_file(self, workload):
+        assert os.path.exists(workload)
+        data = np.load(workload)
+        assert int(data["height"][0]) == 10
+        assert data["counts"].sum() == 20000
+
+    def test_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        main(["generate", "--height", "8", "--packets", "1000",
+              "--seed", "5", "-o", a])
+        main(["generate", "--height", "8", "--packets", "1000",
+              "--seed", "5", "-o", b])
+        da, db = np.load(a), np.load(b)
+        assert np.array_equal(da["counts"], db["counts"])
+
+
+class TestBuild:
+    @pytest.mark.parametrize("algorithm", ["nonoverlapping", "overlapping",
+                                           "lpm_greedy"])
+    def test_build_binary(self, workload, tmp_path, algorithm):
+        out = str(tmp_path / "fn.bin")
+        assert main(["build", workload, "--algorithm", algorithm,
+                     "--budget", "12", "-o", out]) == 0
+        with open(out, "rb") as f:
+            fn = decode_function(f.read())
+        assert fn.num_buckets <= 12
+
+    def test_build_json(self, workload, tmp_path):
+        out = str(tmp_path / "fn.json")
+        main(["build", workload, "--budget", "8", "-o", out])
+        with open(out) as f:
+            fn = function_from_json(f.read())
+        assert fn.num_buckets <= 8
+
+    def test_metric_choices_enforced(self, workload, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", workload, "--metric", "nope",
+                  "-o", str(tmp_path / "x.bin")])
+
+
+class TestEvaluateInspect:
+    def test_evaluate_prints_all_metrics(self, workload, tmp_path, capsys):
+        out = str(tmp_path / "fn.bin")
+        main(["build", workload, "--budget", "10", "-o", out])
+        assert main(["evaluate", workload, out]) == 0
+        text = capsys.readouterr().out
+        for name in ("rms", "average", "avg_relative", "max_relative"):
+            assert name in text
+
+    def test_inspect_lists_buckets(self, workload, tmp_path, capsys):
+        out = str(tmp_path / "fn.json")
+        main(["build", workload, "--budget", "6", "-o", out])
+        assert main(["inspect", out]) == 0
+        text = capsys.readouterr().out
+        assert "buckets" in text
+        assert "*" in text
+
+
+class TestSimulate:
+    def test_simulate_reports(self, capsys):
+        assert main(["simulate", "--height", "10", "--packets", "20000",
+                     "--budget", "20", "--monitors", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "compression ratio" in text
+        assert "mean rms error" in text
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as e:
+        main(["--version"])
+    assert e.value.code == 0
+
+
+def test_missing_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,48 @@
+"""Tests for the construction-algorithm registry."""
+
+import numpy as np
+import pytest
+
+from repro import PrunedHierarchy, get_metric
+from repro.algorithms import available_algorithms
+from repro.algorithms.construct import build
+
+from helpers import random_instance
+
+
+def test_known_algorithms():
+    names = set(available_algorithms())
+    assert {"nonoverlapping", "overlapping", "lpm_greedy",
+            "lpm_quantized", "lpm_kholes"} <= names
+
+
+def test_unknown_algorithm_rejected(small_hierarchy):
+    with pytest.raises(KeyError, match="unknown construction"):
+        build("bogus", small_hierarchy, get_metric("rms"), 3)
+
+
+@pytest.mark.parametrize("name", ["nonoverlapping", "overlapping",
+                                  "lpm_greedy", "lpm_quantized"])
+def test_every_algorithm_constructs(name, small_hierarchy):
+    res = build(name, small_hierarchy, get_metric("rms"), 4)
+    assert np.isfinite(res.error_at(4))
+    fn = res.function_at(4)
+    assert fn.num_buckets <= 4
+
+
+def test_options_passthrough(small_hierarchy):
+    res = build("lpm_greedy", small_hierarchy, get_metric("rms"), 3,
+                overprovision=3.0)
+    assert res.stats["pool"] >= 3
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_relative_ordering_holds(seed):
+    """Overlapping (optimal, superset space w/ root) is never worse than
+    its own greedy selection pool evaluated as overlapping; and every
+    optimal method beats budget-1 trivially at large budgets."""
+    _dom, table, counts = random_instance(seed, height_range=(3, 5))
+    metric = get_metric("rms")
+    h = PrunedHierarchy(table, counts)
+    over = build("overlapping", h, metric, 6)
+    assert over.error_at(6) <= over.error_at(1) + 1e-9

@@ -1,0 +1,159 @@
+"""Tests for the workload generators (WHOIS tables, traffic, RFID)."""
+
+import numpy as np
+import pytest
+
+from repro import UIDDomain
+from repro.data import (
+    EPCScheme,
+    TrafficModel,
+    generate_epc_population,
+    generate_subnet_table,
+    generate_timestamped_trace,
+    generate_trace,
+    prefix_length_distribution,
+)
+
+
+class TestSubnetTable:
+    def test_covers_and_nonoverlapping(self):
+        table = generate_subnet_table(UIDDomain(12), seed=1)
+        assert table.covers_domain()  # construction guarantees both
+
+    def test_deterministic(self):
+        t1 = generate_subnet_table(UIDDomain(10), seed=7)
+        t2 = generate_subnet_table(UIDDomain(10), seed=7)
+        assert list(t1.nodes) == list(t2.nodes)
+
+    def test_seeds_differ(self):
+        t1 = generate_subnet_table(UIDDomain(10), seed=7)
+        t2 = generate_subnet_table(UIDDomain(10), seed=8)
+        assert list(t1.nodes) != list(t2.nodes)
+
+    def test_min_depth_respected(self):
+        table = generate_subnet_table(UIDDomain(12), seed=3, min_depth=4)
+        dist = prefix_length_distribution(table)
+        assert min(dist) >= 4
+
+    def test_spikes_visible(self):
+        """The classful spike depths must be locally elevated —
+        the Figure 15 shape."""
+        table = generate_subnet_table(UIDDomain(16), seed=42)
+        dist = prefix_length_distribution(table)
+        spike = 8  # height/2
+        neighbors = [dist.get(spike - 1, 0), dist.get(spike + 1, 0)]
+        assert dist.get(spike, 0) > max(neighbors)
+
+    def test_group_ids_are_prefix_patterns(self):
+        table = generate_subnet_table(UIDDomain(8), seed=0, label="net")
+        assert all(str(g).startswith("net-") for g in table.group_ids)
+
+    def test_spike_strength_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            generate_subnet_table(
+                UIDDomain(12), spike_depths=[3, 6], spike_stop=(0.5,)
+            )
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(ValueError):
+            generate_subnet_table(UIDDomain(1))
+
+
+class TestTraffic:
+    @pytest.fixture
+    def table(self):
+        return generate_subnet_table(UIDDomain(12), seed=5)
+
+    def test_all_uids_in_domain(self, table):
+        uids = generate_trace(table, 5000, seed=1)
+        assert uids.min() >= 0
+        assert uids.max() < table.domain.num_uids
+
+    def test_sparsity(self, table):
+        model = TrafficModel(mode="zipf", active_fraction=0.1)
+        uids = generate_trace(table, 20000, seed=2, model=model)
+        counts = table.counts_from_uids(uids)
+        active = int((counts > 0).sum())
+        assert active <= int(len(table) * 0.1) + 1
+
+    def test_skew(self, table):
+        """Zipf-1.2 traffic concentrates: the busiest 10% of active
+        subnets should carry the majority of packets."""
+        uids = generate_trace(
+            table, 50000, seed=3,
+            model=TrafficModel(mode="zipf", active_fraction=0.2, zipf_exponent=1.2),
+        )
+        counts = np.sort(table.counts_from_uids(uids))[::-1]
+        active = counts[counts > 0]
+        top = active[: max(1, len(active) // 10)].sum()
+        assert top / active.sum() > 0.5
+
+    def test_deterministic(self, table):
+        a = generate_trace(table, 1000, seed=9)
+        b = generate_trace(table, 1000, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_counts_sum(self, table):
+        uids = generate_trace(table, 1234, seed=0)
+        assert table.counts_from_uids(uids).sum() == 1234
+
+    def test_timestamped_sorted(self, table):
+        ts, uids = generate_timestamped_trace(table, 500, duration=10.0, seed=1)
+        assert np.all(np.diff(ts) >= 0)
+        assert ts.max() < 10.0
+        assert len(ts) == len(uids) == 500
+
+    def test_bad_params_rejected(self, table):
+        with pytest.raises(ValueError):
+            TrafficModel(active_fraction=0.0)
+        with pytest.raises(ValueError):
+            TrafficModel(zipf_exponent=-1.0)
+        with pytest.raises(ValueError):
+            generate_trace(table, -5)
+        with pytest.raises(ValueError):
+            generate_timestamped_trace(table, 5, duration=0.0)
+
+
+class TestRFID:
+    def test_encode_decode_roundtrip(self):
+        s = EPCScheme(num_managers=12, num_classes=10, serial_bits=6)
+        for m, c, ser in [(0, 0, 0), (11, 9, 63), (5, 3, 17)]:
+            assert s.decode(s.encode(m, c, ser)) == (m, c, ser)
+
+    def test_encode_rejects_out_of_range(self):
+        s = EPCScheme(num_managers=4, num_classes=4, serial_bits=4)
+        with pytest.raises(ValueError):
+            s.encode(4, 0, 0)
+        with pytest.raises(ValueError):
+            s.encode(0, 4, 0)
+        with pytest.raises(ValueError):
+            s.encode(0, 0, 16)
+
+    def test_group_table_structure(self):
+        s = EPCScheme(num_managers=3, num_classes=5, serial_bits=4)
+        t = s.group_table()
+        assert len(t) == 15
+        # non-power-of-two fanouts leave unassigned space
+        assert not t.covers_domain()
+
+    def test_population_lands_in_groups(self):
+        s = EPCScheme(num_managers=6, num_classes=4, serial_bits=5)
+        tags = generate_epc_population(s, 2000, seed=1)
+        t = s.group_table()
+        counts = t.counts_from_uids(tags)
+        assert counts.sum() == 2000  # nothing falls in unassigned space
+
+    def test_manager_skew(self):
+        s = EPCScheme(num_managers=10, num_classes=2, serial_bits=4)
+        tags = generate_epc_population(s, 20000, seed=2, manager_skew=1.5)
+        managers = tags >> (s.class_bits + s.serial_bits)
+        counts = np.bincount(managers, minlength=10)
+        assert counts[0] > counts[9]
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            EPCScheme(num_managers=0)
+        with pytest.raises(ValueError):
+            EPCScheme(serial_bits=-1)
+        with pytest.raises(ValueError):
+            generate_epc_population(EPCScheme(), -1)

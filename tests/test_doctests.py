@@ -1,0 +1,20 @@
+"""Runs the doctests embedded in the public API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.domain
+import repro.core.errors
+
+
+@pytest.mark.parametrize("module", [
+    repro,
+    repro.core.domain,
+    repro.core.errors,
+])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "no doctests collected"

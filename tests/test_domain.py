@@ -1,0 +1,172 @@
+"""Unit and property tests for the UID domain node arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ROOT, UIDDomain
+
+
+class TestBasics:
+    def test_sizes(self):
+        dom = UIDDomain(3)
+        assert dom.num_uids == 8
+        assert dom.num_nodes == 15
+
+    def test_zero_height(self):
+        dom = UIDDomain(0)
+        assert dom.num_uids == 1
+        assert dom.leaf(0) == ROOT
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            UIDDomain(-1)
+
+    def test_node_construction(self):
+        dom = UIDDomain(3)
+        assert dom.node(0, 0) == ROOT
+        assert dom.node(2, 0b11) == 7
+        assert dom.leaf(0b010) == 8 + 2
+
+    def test_node_rejects_bad_prefix(self):
+        dom = UIDDomain(3)
+        with pytest.raises(ValueError):
+            dom.node(2, 4)
+        with pytest.raises(ValueError):
+            dom.node(4, 0)
+
+    def test_leaf_rejects_out_of_range(self):
+        dom = UIDDomain(3)
+        with pytest.raises(ValueError):
+            dom.leaf(8)
+        with pytest.raises(ValueError):
+            dom.leaf(-1)
+
+
+class TestNavigation:
+    def test_children_parent_roundtrip(self):
+        left, right = UIDDomain.children(5)
+        assert (left, right) == (10, 11)
+        assert UIDDomain.parent(left) == 5
+        assert UIDDomain.parent(right) == 5
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            UIDDomain.parent(ROOT)
+
+    def test_sibling(self):
+        assert UIDDomain.sibling(10) == 11
+        assert UIDDomain.sibling(11) == 10
+        with pytest.raises(ValueError):
+            UIDDomain.sibling(ROOT)
+
+    def test_depth_prefix(self):
+        assert UIDDomain.depth(ROOT) == 0
+        assert UIDDomain.depth(7) == 2
+        assert UIDDomain.prefix(7) == 3
+
+    def test_is_ancestor(self):
+        assert UIDDomain.is_ancestor(ROOT, 13)
+        assert UIDDomain.is_ancestor(3, 13)
+        assert UIDDomain.is_ancestor(13, 13)
+        assert not UIDDomain.is_ancestor(13, 3)
+        assert not UIDDomain.is_ancestor(2, 13)
+
+    def test_ancestors_order(self):
+        assert list(UIDDomain.ancestors(13)) == [6, 3, 1]
+
+    def test_ancestor_at_depth(self):
+        assert UIDDomain.ancestor_at_depth(13, 1) == 3
+        with pytest.raises(ValueError):
+            UIDDomain.ancestor_at_depth(3, 5)
+
+    def test_lca(self):
+        assert UIDDomain.lca(12, 13) == 6
+        assert UIDDomain.lca(12, 14) == 3
+        assert UIDDomain.lca(8, 15) == ROOT
+        assert UIDDomain.lca(6, 13) == 6
+
+
+class TestRanges:
+    def test_uid_range(self):
+        dom = UIDDomain(3)
+        assert dom.uid_range(ROOT) == (0, 8)
+        assert dom.uid_range(dom.node(2, 0b01)) == (2, 4)
+        assert dom.uid_range(dom.leaf(5)) == (5, 6)
+
+    def test_subtree_size(self):
+        dom = UIDDomain(4)
+        assert dom.subtree_size(ROOT) == 16
+        assert dom.subtree_size(dom.leaf(3)) == 1
+
+    def test_node_for_range_roundtrip(self):
+        dom = UIDDomain(4)
+        for node in [1, 2, 3, 5, 9, 16, 31]:
+            lo, hi = dom.uid_range(node)
+            assert dom.node_for_range(lo, hi) == node
+
+    def test_node_for_range_rejects_bad(self):
+        dom = UIDDomain(4)
+        with pytest.raises(ValueError):
+            dom.node_for_range(0, 3)  # not a power of two
+        with pytest.raises(ValueError):
+            dom.node_for_range(2, 6)  # misaligned
+        with pytest.raises(ValueError):
+            dom.node_for_range(8, 24)  # out of universe
+
+
+class TestFormatting:
+    def test_prefix_str(self):
+        dom = UIDDomain(3)
+        assert dom.node_prefix_str(ROOT) == "*"
+        assert dom.node_prefix_str(dom.node(2, 0b01)) == "01*"
+        assert dom.node_prefix_str(dom.leaf(0b101)) == "101"
+
+    def test_parse_prefix_roundtrip(self):
+        dom = UIDDomain(4)
+        for node in [1, 2, 7, 12, 16, 31]:
+            assert dom.parse_prefix_str(dom.node_prefix_str(node)) == node
+
+    def test_parse_rejects_garbage(self):
+        dom = UIDDomain(3)
+        with pytest.raises(ValueError):
+            dom.parse_prefix_str("01x*")
+
+    def test_describe_mentions_prefix(self):
+        dom = UIDDomain(3)
+        assert "01*" in dom.describe(dom.node(2, 0b01))
+
+
+@given(st.integers(min_value=0, max_value=20), st.data())
+def test_leaf_roundtrip_property(height, data):
+    dom = UIDDomain(height)
+    uid = data.draw(st.integers(min_value=0, max_value=dom.num_uids - 1))
+    leaf = dom.leaf(uid)
+    assert UIDDomain.depth(leaf) == height
+    lo, hi = dom.uid_range(leaf)
+    assert (lo, hi) == (uid, uid + 1)
+
+
+@given(st.integers(min_value=1, max_value=2**20 - 1),
+       st.integers(min_value=1, max_value=2**20 - 1))
+def test_lca_is_common_ancestor_property(a, b):
+    l = UIDDomain.lca(a, b)
+    assert UIDDomain.is_ancestor(l, a)
+    assert UIDDomain.is_ancestor(l, b)
+    # and it is the lowest: its children are not common ancestors
+    for c in UIDDomain.children(l):
+        assert not (UIDDomain.is_ancestor(c, a) and UIDDomain.is_ancestor(c, b))
+
+
+@given(st.integers(min_value=0, max_value=12), st.data())
+def test_range_partition_property(height, data):
+    """Children's ranges partition the parent's range."""
+    dom = UIDDomain(height + 1)
+    node = data.draw(
+        st.integers(min_value=1, max_value=(1 << height) - 1 if height else 1)
+    )
+    lo, hi = dom.uid_range(node)
+    l, r = UIDDomain.children(node)
+    llo, lhi = dom.uid_range(l)
+    rlo, rhi = dom.uid_range(r)
+    assert (llo, rhi) == (lo, hi)
+    assert lhi == rlo

@@ -1,0 +1,200 @@
+"""Tests for the distributive error metric framework."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    AverageError,
+    AverageRelativeError,
+    MaximumRelativeError,
+    PenaltyMetric,
+    RMSError,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+
+counts = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=30,
+)
+
+
+class TestConcreteValues:
+    def test_rms(self):
+        m = RMSError()
+        assert m.evaluate([3, 4], [3, 4]) == 0.0
+        assert m.evaluate([0, 0], [3, 4]) == pytest.approx(math.sqrt(12.5))
+
+    def test_average(self):
+        m = AverageError()
+        assert m.evaluate([10, 0], [4, 2]) == pytest.approx(4.0)
+
+    def test_avg_relative(self):
+        m = AverageRelativeError(floor=1.0)
+        # |10-5|/10 = 0.5 ; |0-2|/max(0,1) = 2.0
+        assert m.evaluate([10, 0], [5, 2]) == pytest.approx(1.25)
+
+    def test_max_relative(self):
+        m = MaximumRelativeError(floor=1.0)
+        assert m.evaluate([10, 0], [5, 2]) == pytest.approx(2.0)
+
+    def test_relative_floor_prevents_blowup(self):
+        m = AverageRelativeError(floor=10.0)
+        assert m.evaluate([0], [5]) == pytest.approx(0.5)
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(ValueError):
+            AverageRelativeError(floor=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RMSError().evaluate([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RMSError().evaluate([], [])
+
+
+class TestRegistry:
+    def test_get_all(self):
+        for name in available_metrics():
+            assert get_metric(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_metric("nope")
+
+    def test_kwargs_passthrough(self):
+        m = get_metric("max_relative", floor=7.0)
+        assert m.floor == 7.0
+
+    def test_register_requires_name(self):
+        class Anon(RMSError):
+            name = ""
+
+        with pytest.raises(ValueError):
+            register_metric(Anon)
+
+
+class TestGenericVsFastPath:
+    """The PSR interface and the scalar fast path must agree."""
+
+    @pytest.mark.parametrize("name", ["rms", "average", "avg_relative",
+                                      "max_relative"])
+    def test_psr_evaluate_matches_vectorized(self, name):
+        m = get_metric(name)
+        rng = np.random.default_rng(0)
+        actual = rng.integers(0, 100, 17).astype(float)
+        est = rng.integers(0, 100, 17).astype(float)
+        psr = m.start(actual[0], est[0])
+        for a, e in zip(actual[1:], est[1:]):
+            psr = m.merge(psr, m.start(a, e))
+        assert m.finalize(psr) == pytest.approx(m.evaluate(actual, est))
+
+    @pytest.mark.parametrize("name", ["rms", "average", "avg_relative",
+                                      "max_relative"])
+    def test_merge_associative_commutative(self, name):
+        m = get_metric(name)
+        a, b, c = m.start(5, 2), m.start(0, 7), m.start(3, 3)
+        ab_c = m.merge(m.merge(a, b), c)
+        a_bc = m.merge(a, m.merge(b, c))
+        assert m.finalize(ab_c) == pytest.approx(m.finalize(a_bc))
+        assert m.finalize(m.merge(a, b)) == pytest.approx(
+            m.finalize(m.merge(b, a))
+        )
+
+    def test_repeated_penalty_sum(self):
+        m = AverageError()
+        assert m.repeated_penalty(3.0, 4) == 12.0
+        assert m.repeated_penalty(3.0, 0) == 0.0
+
+    def test_repeated_penalty_max(self):
+        m = MaximumRelativeError()
+        assert m.repeated_penalty(3.0, 4) == 3.0
+        assert m.repeated_penalty(3.0, 0) == 0.0
+
+
+@pytest.mark.parametrize("name", ["rms", "average", "avg_relative",
+                                  "max_relative"])
+@given(data=st.data())
+def test_monotonicity_property(name, data):
+    """The paper's Section 2.2.4 monotonicity requirements (Eqs 1-2)."""
+    m = get_metric(name)
+    pairs = data.draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                st.floats(min_value=0, max_value=1e4, allow_nan=False),
+            ),
+            min_size=3, max_size=9,
+        )
+    )
+    psrs = [m.start(a, e) for a, e in pairs]
+    A, B, C = psrs[0], psrs[1], psrs[2]
+    fb, fc = m.finalize(B), m.finalize(C)
+    fab, fac = m.finalize(m.merge(A, B)), m.finalize(m.merge(A, C))
+    if fb > fc:
+        assert fab >= fac - 1e-9
+    # Eq 2 needs PSRs with equal counts for the averaging metrics; a
+    # single start PSR always has count 1, so it applies directly.
+    if fb == fc:
+        assert fab == pytest.approx(fac)
+
+
+@given(counts, st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_exact_estimate_zero_error(actual, _x):
+    for name in ["rms", "average", "avg_relative", "max_relative"]:
+        m = get_metric(name)
+        assert m.evaluate(actual, actual) == 0.0
+
+
+@given(counts)
+def test_penalties_nonnegative(actual):
+    actual = np.asarray(actual)
+    est = actual[::-1].copy()
+    for name in ["rms", "average", "avg_relative", "max_relative"]:
+        m = get_metric(name)
+        assert np.all(m.penalty_array(actual, est) >= 0)
+        assert m.evaluate(actual, est) >= 0
+
+
+def test_super_additivity_rms():
+    """RMS penalties (SSE) are super-additive over disjoint partitions —
+    the property the k-holes conversion argument relies on (Eq 13)."""
+    rng = np.random.default_rng(1)
+    m = RMSError()
+    for _ in range(20):
+        v = rng.integers(0, 50, 12).astype(float)
+        split = int(rng.integers(1, 11))
+        p1, p2 = v[:split], v[split:]
+
+        def sse(x):
+            return float(((x - x.mean()) ** 2).sum())
+
+        assert sse(p1) + sse(p2) <= sse(v) + 1e-9
+
+
+class CountingMetric(PenaltyMetric):
+    """A custom metric exercising the extension API."""
+
+    name = "counting_test"
+    combine = "sum"
+
+    def penalty(self, actual, estimate):
+        return 1.0 if actual != estimate else 0.0
+
+    def penalty_array(self, actual, estimate):
+        return (actual != estimate).astype(float)
+
+    def finalize_total(self, total, count):
+        return total
+
+
+def test_custom_metric_registration():
+    register_metric(CountingMetric)
+    m = get_metric("counting_test")
+    assert m.evaluate([1, 2, 3], [1, 0, 3]) == 1.0

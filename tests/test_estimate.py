@@ -1,0 +1,156 @@
+"""Tests for Control-Center reconstruction (uniformity estimates)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bucket,
+    GroupTable,
+    LongestPrefixMatchPartitioning,
+    NonoverlappingPartitioning,
+    OverlappingPartitioning,
+    UIDDomain,
+    assign_groups_to_buckets,
+    evaluate_function,
+    get_metric,
+    histogram_from_group_counts,
+    net_group_populations,
+    reconstruct_estimates,
+)
+
+DOM = UIDDomain(3)
+
+
+def node(p):
+    return DOM.parse_prefix_str(p)
+
+
+@pytest.fixture
+def leaf_table():
+    """Eight singleton groups, one per identifier."""
+    return GroupTable(DOM, [DOM.leaf(u) for u in range(8)])
+
+
+class TestNonoverlapping:
+    def test_uniform_spread(self, leaf_table):
+        fn = NonoverlappingPartitioning(
+            DOM, [Bucket(node("0*")), Bucket(node("1*"))]
+        )
+        counts = np.array([8, 0, 0, 0, 2, 2, 0, 0], dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        assert list(est) == [2.0] * 4 + [1.0] * 4
+
+    def test_empty_bucket_estimates_zero(self, leaf_table):
+        fn = NonoverlappingPartitioning(
+            DOM, [Bucket(node("0*")), Bucket(node("1*"))]
+        )
+        counts = np.array([4, 0, 0, 0, 0, 0, 0, 0], dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        # the zero bucket is omitted entirely (inferred, Section 4.3)
+        assert node("1*") not in hist.counts
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        assert list(est[4:]) == [0.0] * 4
+
+    def test_mass_conservation(self, leaf_table):
+        fn = NonoverlappingPartitioning(
+            DOM, [Bucket(node("0*")), Bucket(node("10*")), Bucket(node("11*"))]
+        )
+        counts = np.arange(8, dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        assert est.sum() == pytest.approx(counts.sum())
+
+
+class TestOverlapping:
+    def test_closest_bucket_density(self, leaf_table):
+        fn = OverlappingPartitioning(
+            DOM, [Bucket(node("*")), Bucket(node("1*"))]
+        )
+        counts = np.array([1, 1, 1, 1, 10, 10, 10, 10], dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        # overlapping counts: root sees everything
+        assert hist.get(node("*")) == 44
+        assert hist.get(node("1*")) == 40
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        # groups under 1* use density 40/4; others use the root 44/8
+        assert list(est[4:]) == [10.0] * 4
+        assert list(est[:4]) == [5.5] * 4
+
+    def test_sparse_bucket_exact(self, leaf_table):
+        fn = OverlappingPartitioning(
+            DOM,
+            [Bucket(node("*")),
+             Bucket(node("0*"), sparse_group_node=DOM.leaf(2))],
+        )
+        counts = np.array([0, 0, 7, 0, 3, 3, 3, 3], dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        assert est[2] == pytest.approx(7.0)        # exact sparse group
+        assert list(est[:2]) == [0.0, 0.0]          # explicit emptiness
+        assert est[3] == 0.0
+
+
+class TestLongestPrefixMatch:
+    def test_holes_reduce_parent_population(self, leaf_table):
+        fn = LongestPrefixMatchPartitioning(
+            DOM, [Bucket(node("*")), Bucket(node("1*"))]
+        )
+        pops = net_group_populations(leaf_table, fn)
+        assert pops[node("*")] == 4   # 8 groups minus the 4 in the hole
+        assert pops[node("1*")] == 4
+
+    def test_lpm_estimates(self, leaf_table):
+        fn = LongestPrefixMatchPartitioning(
+            DOM, [Bucket(node("*")), Bucket(node("1*"))]
+        )
+        counts = np.array([1, 1, 1, 1, 10, 10, 10, 10], dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        assert hist.get(node("*")) == 4      # net of the hole
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        assert list(est[:4]) == [1.0] * 4    # exact thanks to the hole
+        assert list(est[4:]) == [10.0] * 4
+
+    def test_sparse_lpm(self, leaf_table):
+        fn = LongestPrefixMatchPartitioning(
+            DOM,
+            [Bucket(node("*")),
+             Bucket(node("0*"), sparse_group_node=DOM.leaf(1))],
+        )
+        counts = np.array([0, 9, 0, 0, 4, 4, 4, 4], dtype=float)
+        hist = histogram_from_group_counts(leaf_table, counts, fn)
+        est = reconstruct_estimates(leaf_table, fn, hist)
+        assert est[1] == pytest.approx(9.0)
+        assert list(est[[0, 2, 3]]) == [0.0] * 3
+
+
+class TestGuards:
+    def test_bucket_below_group_rejected(self):
+        table = GroupTable(DOM, [node("0*"), node("1*")])
+        fn = OverlappingPartitioning(DOM, [Bucket(node("01*"))])
+        with pytest.raises(ValueError, match="strictly below group"):
+            assign_groups_to_buckets(table, fn)
+
+    def test_count_shape_rejected(self, leaf_table):
+        fn = OverlappingPartitioning(DOM, [Bucket(node("*"))])
+        with pytest.raises(ValueError):
+            histogram_from_group_counts(leaf_table, np.zeros(3), fn)
+
+    def test_uncovered_groups_estimate_zero(self, leaf_table):
+        fn = LongestPrefixMatchPartitioning(DOM, [Bucket(node("0*"))])
+        counts = np.ones(8)
+        err = evaluate_function(
+            leaf_table, counts, fn, get_metric("average")
+        )
+        # the uncovered half is estimated 0 -> |1-0| each, averaged
+        assert err == pytest.approx(0.5)
+
+    def test_nonzero_only_mode(self, leaf_table):
+        fn = LongestPrefixMatchPartitioning(DOM, [Bucket(node("*"))])
+        counts = np.array([8, 0, 0, 0, 0, 0, 0, 0], dtype=float)
+        full = evaluate_function(leaf_table, counts, fn, get_metric("average"))
+        nz = evaluate_function(
+            leaf_table, counts, fn, get_metric("average"), nonzero_only=True
+        )
+        assert full == pytest.approx((7 + 7) / 8)  # |8-1| + 7*|0-1| over 8
+        assert nz == pytest.approx(7.0)

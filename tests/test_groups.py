@@ -1,0 +1,124 @@
+"""Tests for the GroupTable lookup table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import GroupTable, UIDDomain
+
+from helpers import random_cut
+
+
+@pytest.fixture
+def table():
+    dom = UIDDomain(4)
+    # three groups: [0,8), [8,12), [12,16)
+    return GroupTable(dom, [dom.node(1, 0), dom.node(2, 2), dom.node(2, 3)],
+                      ["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_sorted_by_range(self, table):
+        assert table.group_ids == ["a", "b", "c"]
+        assert list(table.starts) == [0, 8, 12]
+        assert list(table.ends) == [8, 12, 16]
+
+    def test_overlap_rejected(self):
+        dom = UIDDomain(4)
+        with pytest.raises(ValueError, match="overlap"):
+            GroupTable(dom, [dom.node(1, 0), dom.node(2, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GroupTable(UIDDomain(4), [])
+
+    def test_id_length_mismatch_rejected(self):
+        dom = UIDDomain(4)
+        with pytest.raises(ValueError):
+            GroupTable(dom, [dom.node(1, 0)], ["x", "y"])
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ValueError):
+            GroupTable(UIDDomain(2), [64])
+
+    def test_covers_domain(self, table):
+        assert table.covers_domain()
+        dom = UIDDomain(4)
+        partial = GroupTable(dom, [dom.node(2, 0)])
+        assert not partial.covers_domain()
+        assert partial.covered_uids() == 4
+
+
+class TestLookup:
+    def test_lookup_single(self, table):
+        assert table.lookup(0) == 0
+        assert table.lookup(7) == 0
+        assert table.lookup(8) == 1
+        assert table.lookup(15) == 2
+
+    def test_lookup_uncovered(self):
+        dom = UIDDomain(4)
+        t = GroupTable(dom, [dom.node(2, 1)])  # covers [4,8)
+        assert t.lookup(3) is None
+        assert t.lookup(8) is None
+        assert t.lookup(5) == 0
+
+    def test_lookup_many_matches_scalar(self, table):
+        uids = np.arange(16)
+        many = table.lookup_many(uids)
+        for uid in uids:
+            assert many[uid] == table.lookup(int(uid))
+
+    def test_counts_from_uids(self, table):
+        counts = table.counts_from_uids([0, 1, 8, 8, 15])
+        assert list(counts) == [2.0, 2.0, 1.0]
+
+    def test_counts_drop_uncovered(self):
+        dom = UIDDomain(4)
+        t = GroupTable(dom, [dom.node(2, 1)])
+        counts = t.counts_from_uids([0, 5, 6, 12])
+        assert list(counts) == [2.0]
+
+
+class TestRangeStats:
+    def test_groups_below(self, table):
+        dom = table.domain
+        assert table.groups_below(1) == 3  # root
+        assert table.groups_below(dom.node(1, 0)) == 1
+        assert table.groups_below(dom.node(1, 1)) == 2
+        assert table.groups_below(dom.node(3, 0)) == 0  # inside group a
+
+    def test_group_indices_below(self, table):
+        dom = table.domain
+        assert list(table.group_indices_below(dom.node(1, 1))) == [1, 2]
+        assert list(table.group_indices_below(1)) == [0, 1, 2]
+
+    def test_index_of_node(self, table):
+        dom = table.domain
+        assert table.index_of_node(dom.node(2, 2)) == 1
+        with pytest.raises(KeyError):
+            table.index_of_node(dom.node(2, 0))
+
+    def test_key_density(self, table):
+        dom = table.domain
+        kd = table.key_density([1, dom.node(1, 1)])
+        assert kd == {1: 3, dom.node(1, 1): 2}
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_cut_tables_cover_and_count(seed):
+    rng = np.random.default_rng(seed)
+    height = int(rng.integers(1, 7))
+    dom = UIDDomain(height)
+    table = GroupTable(dom, random_cut(rng, height))
+    assert table.covers_domain()
+    # every uid maps to exactly one group
+    idx = table.lookup_many(np.arange(dom.num_uids))
+    assert np.all(idx >= 0)
+    # groups_below(root) counts everything
+    assert table.groups_below(1) == len(table)
+    # sum over the two root children equals the total (unless the root
+    # itself is the single group — it lies in neither child subtree)
+    if height >= 1 and 1 not in table.nodes.tolist():
+        total = table.groups_below(2) + table.groups_below(3)
+        assert total == len(table)

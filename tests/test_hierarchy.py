@@ -1,0 +1,130 @@
+"""Tests for the pruned hierarchy (Steiner tree + zero summaries)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import GroupTable, PrunedHierarchy, UIDDomain
+
+from helpers import random_cut, random_instance
+
+
+class TestStructure:
+    def test_single_nonzero_group(self):
+        dom = UIDDomain(4)
+        table = GroupTable(dom, [dom.node(4, p) for p in range(16)])
+        counts = np.zeros(16)
+        counts[5] = 10.0
+        h = PrunedHierarchy(table, counts)
+        assert h.num_nonzero_groups == 1
+        assert h.root.n_groups == 16
+        assert h.root.tuples == 10.0
+        # the single group leaf is present
+        assert len(h.leaves) == 1
+        assert h.leaves[0].group_index == 5
+
+    def test_all_zero_window(self):
+        dom = UIDDomain(3)
+        table = GroupTable(dom, [dom.node(1, 0), dom.node(1, 1)])
+        h = PrunedHierarchy(table, np.zeros(2))
+        assert h.root.kind == "zero"
+        assert h.root.n_groups == 2
+        assert h.num_nonzero_groups == 0
+
+    def test_count_shape_rejected(self):
+        dom = UIDDomain(3)
+        table = GroupTable(dom, [dom.node(1, 0), dom.node(1, 1)])
+        with pytest.raises(ValueError):
+            PrunedHierarchy(table, np.zeros(3))
+
+    def test_negative_counts_rejected(self):
+        dom = UIDDomain(3)
+        table = GroupTable(dom, [dom.node(1, 0), dom.node(1, 1)])
+        with pytest.raises(ValueError):
+            PrunedHierarchy(table, np.array([1.0, -2.0]))
+
+    def test_postorder_children_before_parents(self, small_hierarchy):
+        seen = set()
+        for p in small_hierarchy.nodes:
+            for c in p.children():
+                assert c.index in seen
+            seen.add(p.index)
+
+    def test_leaf_kinds(self, small_hierarchy):
+        for p in small_hierarchy.nodes:
+            if p.is_leaf:
+                assert p.kind in ("group", "zero")
+            else:
+                assert p.kind == "branch"
+                assert p.left is not None and p.right is not None
+
+    def test_group_leaves_are_nonzero(self, small_hierarchy):
+        for leaf in small_hierarchy.leaves:
+            assert leaf.tuples > 0
+            assert leaf.n_groups == 1
+            assert leaf.n_nonzero == 1
+
+
+class TestAggregates:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_aggregates_match_table(self, seed):
+        """Every pruned node's aggregates must equal direct queries of
+        the group table over its subtree."""
+        _dom, table, counts = random_instance(seed)
+        h = PrunedHierarchy(table, counts)
+        for p in h.nodes:
+            idx = table.group_indices_below(p.node)
+            assert p.n_groups == idx.size
+            assert p.n_nonzero == int((counts[idx] > 0).sum())
+            assert p.tuples == pytest.approx(float(counts[idx].sum()))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_zero_nodes_partition_zero_groups(self, seed):
+        """Zero summaries and group leaves together account for every
+        group exactly once."""
+        _dom, table, counts = random_instance(seed)
+        h = PrunedHierarchy(table, counts)
+        zero_total = sum(p.n_groups for p in h.nodes if p.kind == "zero")
+        group_total = sum(1 for p in h.nodes if p.kind == "group")
+        assert zero_total + group_total == len(table)
+        assert group_total == int((counts > 0).sum())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_children_disjoint(self, seed):
+        _dom, table, counts = random_instance(seed)
+        h = PrunedHierarchy(table, counts)
+        for p in h.nodes:
+            if not p.is_leaf:
+                lr = table.domain.uid_range(p.left.node)
+                rr = table.domain.uid_range(p.right.node)
+                assert lr[1] <= rr[0]  # ordered, disjoint
+                assert UIDDomain.is_ancestor(p.node, p.left.node)
+                assert UIDDomain.is_ancestor(p.node, p.right.node)
+
+    def test_density(self, small_hierarchy):
+        root = small_hierarchy.root
+        assert root.density == pytest.approx(root.tuples / root.n_groups)
+
+    def test_group_counts_below(self, small_hierarchy):
+        h = small_hierarchy
+        got = h.group_counts_below(h.root)
+        assert got.sum() == pytest.approx(h.total_tuples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_hierarchy_size_linear_in_nonzero(seed):
+    """|pruned nodes| is O(nonzero groups x height) and every node is
+    either a leaf or has two children (no unary chains survive unless
+    they carry zero attachments)."""
+    rng = np.random.default_rng(seed)
+    height = int(rng.integers(2, 8))
+    dom = UIDDomain(height)
+    table = GroupTable(dom, random_cut(rng, height))
+    counts = rng.integers(0, 5, len(table)).astype(float)
+    h = PrunedHierarchy(table, counts)
+    nonzero = int((counts > 0).sum())
+    if nonzero:
+        assert len(h.nodes) <= 2 * nonzero * (height + 1)
+    for p in h.nodes:
+        assert p.is_leaf or (p.left is not None and p.right is not None)

@@ -1,0 +1,120 @@
+"""Integration tests: the full evaluation pipeline at reduced scale —
+the same code paths the Figure 17-20 benches exercise."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PrunedHierarchy,
+    UIDDomain,
+    evaluate_function,
+    get_metric,
+)
+from repro.algorithms import (
+    OverlappingDP,
+    build_lpm_greedy,
+    build_lpm_quantized,
+    build_nonoverlapping,
+    build_overlapping,
+)
+from repro.baselines import build_end_biased, build_v_optimal
+from repro.data import TrafficModel, generate_subnet_table, generate_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dom = UIDDomain(14)
+    table = generate_subnet_table(dom, seed=11)
+    uids = generate_trace(table, 200_000, seed=12, model=TrafficModel())
+    counts = table.counts_from_uids(uids)
+    return table, counts, PrunedHierarchy(table, counts)
+
+
+BUDGET = 30
+
+
+@pytest.fixture(scope="module")
+def curves(workload):
+    """One mini Figure-17 style sweep (RMS, all six histogram types)."""
+    table, counts, hierarchy = workload
+    metric = get_metric("rms")
+    dp = OverlappingDP(hierarchy, metric, 2 * BUDGET)
+    out = {
+        "nonoverlapping": build_nonoverlapping(hierarchy, metric, BUDGET),
+        "overlapping": build_overlapping(hierarchy, metric, BUDGET),
+        "greedy": build_lpm_greedy(hierarchy, metric, BUDGET, dp=dp),
+        "quantized": build_lpm_quantized(
+            hierarchy, metric, BUDGET, theta=1.0, beam=4
+        ),
+    }
+    eb = build_end_biased(table, counts, BUDGET)
+    vo = build_v_optimal(table, counts, BUDGET)
+    return table, counts, metric, out, eb, vo
+
+
+def test_all_types_produce_finite_curves(curves):
+    _t, _c, _m, out, eb, vo = curves
+    for name, res in out.items():
+        assert np.isfinite(res.error_at(BUDGET)), name
+    assert np.isfinite(eb.error(get_metric("rms"), BUDGET))
+    assert np.isfinite(vo.error(get_metric("rms"), BUDGET))
+
+
+def test_hierarchical_methods_beat_end_biased(curves):
+    """The paper's headline: hierarchical histograms dominate end-biased
+    at equal budget on skewed traffic (Figures 17-18)."""
+    _t, _c, metric, out, eb, _vo = curves
+    eb_err = eb.error(metric, BUDGET)
+    assert out["overlapping"].error_at(BUDGET) <= eb_err
+    assert out["greedy"].error_at(BUDGET) <= eb_err
+
+
+def test_overlapping_beats_nonoverlapping(curves):
+    _t, _c, _m, out, _eb, _vo = curves
+    assert (
+        out["overlapping"].error_at(BUDGET)
+        <= out["nonoverlapping"].error_at(BUDGET) + 1e-9
+    )
+
+
+def test_optimal_dp_errors_match_pipeline(curves):
+    """DP-predicted error == measured error through histograms, at the
+    integration scale too."""
+    table, counts, metric, out, _eb, _vo = curves
+    for name in ("nonoverlapping", "overlapping"):
+        res = out[name]
+        fn = res.function_at(BUDGET)
+        measured = evaluate_function(table, counts, fn, metric)
+        assert measured == pytest.approx(res.error_at(BUDGET), abs=1e-6), name
+
+
+def test_curves_monotone(curves):
+    _t, _c, _m, out, _eb, _vo = curves
+    for name, res in out.items():
+        finite = res.curve[np.isfinite(res.curve)]
+        assert np.all(np.diff(finite) <= 1e-9), name
+
+
+def test_function_sizes_scale_with_budget(curves):
+    _t, _c, _m, out, _eb, _vo = curves
+    res = out["overlapping"]
+    f_small = res.make_function(5)
+    f_big = res.make_function(BUDGET)
+    assert f_big.size_bits() >= f_small.size_bits()
+
+
+@pytest.mark.parametrize("mname", ["average", "avg_relative", "max_relative"])
+def test_other_metrics_full_stack(workload, mname):
+    """Each error metric runs through construction + evaluation and the
+    optimal DPs keep their predicted == measured property."""
+    table, counts, hierarchy = workload
+    floor = max(1.0, float(np.percentile(counts[counts > 0], 5)))
+    metric = (
+        get_metric(mname, floor=floor)
+        if "relative" in mname
+        else get_metric(mname)
+    )
+    res = build_overlapping(hierarchy, metric, 20)
+    fn = res.function_at(20)
+    measured = evaluate_function(table, counts, fn, metric)
+    assert measured == pytest.approx(res.error_at(20), abs=1e-6)

@@ -1,0 +1,133 @@
+"""Tests for the exact k-holes LPM algorithm (Section 3.2.5)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bucket,
+    LongestPrefixMatchPartitioning,
+    PrunedHierarchy,
+    UIDDomain,
+    evaluate_function,
+    get_metric,
+)
+from repro.algorithms import build_lpm_kholes, exhaustive_lpm, split_to_k_holes
+
+from helpers import random_instance
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("mname", ["rms", "average", "max_relative"])
+@pytest.mark.parametrize("sparse", [False, True])
+def test_unrestricted_k_matches_lpm_optimum(seed, mname, sparse):
+    """With k >= budget the hole restriction is vacuous: the k-holes DP
+    is an exact LPM optimizer and must match brute force."""
+    _dom, table, counts = random_instance(seed)
+    metric = get_metric(mname)
+    h = PrunedHierarchy(table, counts)
+    budget = 2 + seed % 3
+    res = build_lpm_kholes(h, metric, budget, k=budget, sparse=sparse)
+    oracle, _ = exhaustive_lpm(table, counts, metric, budget, sparse=sparse)
+    assert res.error_at(budget) == pytest.approx(oracle, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_predicted_error_is_delivered(seed):
+    _dom, table, counts = random_instance(seed + 40)
+    metric = get_metric("rms")
+    h = PrunedHierarchy(table, counts)
+    budget = 3
+    res = build_lpm_kholes(h, metric, budget, k=budget)
+    predicted = res.error_at(budget)
+    if not np.isfinite(predicted):
+        return
+    fn = res.function_at(budget)
+    measured = evaluate_function(table, counts, fn, metric)
+    assert measured == pytest.approx(predicted, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_smaller_k_never_better(seed):
+    """Restricting holes shrinks the search space, so error is
+    monotone nonincreasing in k."""
+    _dom, table, counts = random_instance(seed + 70, height_range=(3, 4))
+    metric = get_metric("average")
+    h = PrunedHierarchy(table, counts)
+    budget = 4
+    errs = [
+        build_lpm_kholes(h, metric, budget, k=k).error_at(budget)
+        for k in (1, 2, budget)
+    ]
+    assert errs[0] >= errs[1] - 1e-9
+    assert errs[1] >= errs[2] - 1e-9
+
+
+def test_scale_guard():
+    """The exact search refuses paper-scale inputs (heuristics exist
+    for those)."""
+    from repro import GroupTable
+
+    dom = UIDDomain(8)
+    table = GroupTable(dom, [dom.node(8, p) for p in range(256)])
+    counts = np.arange(256, dtype=float) + 1
+    h = PrunedHierarchy(table, counts)
+    with pytest.raises(ValueError, match="limited"):
+        build_lpm_kholes(h, get_metric("rms"), 4)
+
+
+class TestSplitToKHoles:
+    def _many_hole_function(self):
+        dom = UIDDomain(4)
+        root = 1
+        holes = [dom.node(4, p) for p in (0, 3, 6, 9, 12, 15)]
+        return dom, LongestPrefixMatchPartitioning(
+            dom, [Bucket(root)] + [Bucket(h) for h in holes]
+        )
+
+    def test_reduces_direct_holes(self):
+        _dom, fn = self._many_hole_function()
+        assert max(len(v) for v in fn.holes().values()) > 2
+        out = split_to_k_holes(fn, 2)
+        assert max(len(v) for v in out.holes().values()) <= 2
+
+    def test_original_buckets_preserved(self):
+        _dom, fn = self._many_hole_function()
+        out = split_to_k_holes(fn, 2)
+        assert set(b.node for b in fn.buckets) <= set(
+            b.node for b in out.buckets
+        )
+
+    def test_bucket_growth_bounded(self):
+        _dom, fn = self._many_hole_function()
+        b = fn.num_buckets
+        out = split_to_k_holes(fn, 2)
+        # Figure 8 argument: at most b(1 + floor(b/(k-1))) buckets.
+        assert out.num_buckets <= b * (1 + b // 1)
+
+    def test_error_not_increased_for_rms(self, small_instance):
+        """Super-additive metrics (Eq 13): the conversion cannot
+        increase error."""
+        _dom, table, counts = small_instance
+        dom = table.domain
+        fn = LongestPrefixMatchPartitioning(
+            dom,
+            [Bucket(1)] + [Bucket(dom.leaf(u)) for u in (2, 4, 9, 13)],
+        )
+        metric = get_metric("rms")
+        before = evaluate_function(table, counts, fn, metric)
+        out = split_to_k_holes(fn, 2)
+        after = evaluate_function(table, counts, out, metric)
+        assert after <= before + 1e-9
+
+    def test_k_below_two_rejected(self):
+        _dom, fn = self._many_hole_function()
+        with pytest.raises(ValueError):
+            split_to_k_holes(fn, 1)
+
+    def test_noop_when_already_compliant(self):
+        dom = UIDDomain(3)
+        fn = LongestPrefixMatchPartitioning(
+            dom, [Bucket(1), Bucket(dom.node(2, 1))]
+        )
+        out = split_to_k_holes(fn, 2)
+        assert set(b.node for b in out.buckets) == {1, dom.node(2, 1)}

@@ -1,0 +1,249 @@
+"""Tests for the multidimensional extension (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GroupTable,
+    PrunedHierarchy,
+    UIDDomain,
+    build_nonoverlapping,
+    build_overlapping,
+    get_metric,
+)
+from repro.algorithms import (
+    GridGroups,
+    build_nonoverlapping_nd,
+    build_overlapping_nd,
+    evaluate_nd,
+)
+
+
+def leaf_grid(h1, h2, counts):
+    d1, d2 = UIDDomain(h1), UIDDomain(h2)
+    cut1 = [d1.node(h1, p) for p in range(2 ** h1)]
+    cut2 = [d2.node(h2, p) for p in range(2 ** h2)]
+    return GridGroups([d1, d2], [cut1, cut2], counts)
+
+
+class TestGridGroups:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            leaf_grid(2, 2, np.zeros((4, 3)))
+
+    def test_cut_must_cover(self):
+        d = UIDDomain(2)
+        with pytest.raises(ValueError, match="covering cut"):
+            GridGroups([d], [[d.node(2, 0)]], np.zeros(1))
+
+    def test_region_stats(self):
+        counts = np.arange(16, dtype=float).reshape(4, 4)
+        grid = leaf_grid(2, 2, counts)
+        total, ntiles = grid.region_stats(grid.root_region)
+        assert total == counts.sum()
+        assert ntiles == 16
+
+    def test_can_split_respects_tiles(self):
+        d1 = UIDDomain(2)
+        # dim-1 groups are the two /1 halves -> splitting below depth 1
+        # would slice a tile
+        cut1 = [d1.node(1, 0), d1.node(1, 1)]
+        d2 = UIDDomain(1)
+        cut2 = [d2.node(1, 0), d2.node(1, 1)]
+        grid = GridGroups([d1, d2], [cut1, cut2], np.zeros((2, 2)))
+        root = grid.root_region
+        assert grid.can_split(root, 0)
+        left, _ = grid.split(root, 0)
+        assert not grid.can_split(left, 0)  # would slice the /1 tile
+
+    def test_contains(self):
+        grid = leaf_grid(2, 2, np.zeros((4, 4)))
+        root = grid.root_region
+        inner = (UIDDomain.left_child(1), UIDDomain.right_child(1))
+        assert grid.contains(root, inner)
+        assert not grid.contains(inner, root)
+
+
+class TestOneDimensionalConsistency:
+    """With d=1 the multidimensional DPs must match the 1-D optimal
+    algorithms exactly — a strong cross-implementation check."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("mname", ["rms", "average", "max_relative"])
+    def test_nonoverlapping(self, seed, mname):
+        rng = np.random.default_rng(seed)
+        h = 4
+        dom = UIDDomain(h)
+        cut = [dom.node(h, p) for p in range(2 ** h)]
+        counts = rng.integers(0, 30, 2 ** h).astype(float)
+        counts[rng.random(2 ** h) < 0.3] = 0
+        if counts.sum() == 0:
+            counts[0] = 3
+        metric = get_metric(mname)
+        budget = 2 + seed % 4
+        hier = PrunedHierarchy(GroupTable(dom, cut), counts)
+        r1 = build_nonoverlapping(hier, metric, budget)
+        r2 = build_nonoverlapping_nd(
+            GridGroups([dom], [cut], counts), metric, budget
+        )
+        assert r1.error_at(budget) == pytest.approx(
+            r2.error_at(budget), abs=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("mname", ["rms", "average"])
+    def test_overlapping(self, seed, mname):
+        rng = np.random.default_rng(seed + 100)
+        h = 4
+        dom = UIDDomain(h)
+        cut = [dom.node(h, p) for p in range(2 ** h)]
+        counts = rng.integers(0, 30, 2 ** h).astype(float)
+        counts[rng.random(2 ** h) < 0.3] = 0
+        if counts.sum() == 0:
+            counts[0] = 3
+        metric = get_metric(mname)
+        budget = 2 + seed % 4
+        hier = PrunedHierarchy(GroupTable(dom, cut), counts)
+        r1 = build_overlapping(hier, metric, budget, sparse=False)
+        r2 = build_overlapping_nd(
+            GridGroups([dom], [cut], counts), metric, budget
+        )
+        assert r1.error_at(budget) == pytest.approx(
+            r2.error_at(budget), abs=1e-9
+        )
+
+
+class TestTwoDimensions:
+    @pytest.fixture
+    def grid(self):
+        rng = np.random.default_rng(5)
+        counts = rng.integers(0, 20, (8, 8)).astype(float)
+        counts[rng.random((8, 8)) < 0.5] = 0
+        return leaf_grid(3, 3, counts)
+
+    @pytest.mark.parametrize("budget", [1, 3, 6])
+    def test_overlapping_never_worse(self, grid, budget):
+        metric = get_metric("rms")
+        rn = build_nonoverlapping_nd(grid, metric, budget)
+        ro = build_overlapping_nd(grid, metric, budget)
+        assert ro.error_at(budget) <= rn.error_at(budget) + 1e-9
+
+    @pytest.mark.parametrize("budget", [1, 4, 8])
+    def test_evaluation_matches_prediction(self, grid, budget):
+        metric = get_metric("rms")
+        rn = build_nonoverlapping_nd(grid, metric, budget)
+        ro = build_overlapping_nd(grid, metric, budget)
+        assert evaluate_nd(
+            grid, rn.buckets_at(budget), metric, semantics="nonoverlapping"
+        ) == pytest.approx(rn.error_at(budget), abs=1e-9)
+        assert evaluate_nd(
+            grid, ro.buckets_at(budget), metric
+        ) == pytest.approx(ro.error_at(budget), abs=1e-9)
+
+    def test_curves_monotone(self, grid):
+        metric = get_metric("average")
+        res = build_overlapping_nd(grid, metric, 8)
+        finite = res.curve[np.isfinite(res.curve)]
+        assert np.all(np.diff(finite) <= 1e-12)
+
+    def test_full_budget_zero_error(self):
+        counts = np.arange(16, dtype=float).reshape(4, 4)
+        grid = leaf_grid(2, 2, counts)
+        metric = get_metric("average")
+        res = build_nonoverlapping_nd(grid, metric, 16)
+        assert res.error_at(16) == pytest.approx(0.0, abs=1e-12)
+
+    def test_buckets_are_disjoint_for_nonoverlapping(self, grid):
+        metric = get_metric("rms")
+        res = build_nonoverlapping_nd(grid, metric, 5)
+        buckets = res.buckets_at(5)
+        for i, a in enumerate(buckets):
+            for b in buckets[i + 1:]:
+                assert not (grid.contains(a, b) or grid.contains(b, a))
+
+    def test_overlapping_buckets_strictly_nested(self, grid):
+        metric = get_metric("rms")
+        res = build_overlapping_nd(grid, metric, 6)
+        buckets = res.buckets_at(6)
+        assert grid.root_region in buckets
+        for b in buckets:
+            assert grid.contains(grid.root_region, b)
+
+
+class TestThreeDimensions:
+    def test_runs_in_3d(self):
+        rng = np.random.default_rng(9)
+        doms = [UIDDomain(2)] * 3
+        cuts = [[d.node(2, p) for p in range(4)] for d in doms]
+        counts = rng.integers(0, 10, (4, 4, 4)).astype(float)
+        grid = GridGroups(doms, cuts, counts)
+        metric = get_metric("rms")
+        rn = build_nonoverlapping_nd(grid, metric, 5)
+        ro = build_overlapping_nd(grid, metric, 5)
+        assert ro.error_at(5) <= rn.error_at(5) + 1e-9
+        assert evaluate_nd(grid, ro.buckets_at(5), metric) == pytest.approx(
+            ro.error_at(5), abs=1e-9
+        )
+
+
+def test_bad_budget_rejected():
+    grid = leaf_grid(2, 2, np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        build_nonoverlapping_nd(grid, get_metric("rms"), 0)
+    with pytest.raises(ValueError):
+        build_overlapping_nd(grid, get_metric("rms"), 0)
+
+
+def test_evaluate_rejects_bad_semantics():
+    grid = leaf_grid(2, 2, np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        evaluate_nd(grid, [grid.root_region], get_metric("rms"),
+                    semantics="weird")
+
+
+class TestLPMSemanticsND:
+    def test_lpm_nets_out_holes(self):
+        """A nested region removes its tiles from the parent's density
+        — the 1-D LPM rule carried to rectangles."""
+        counts = np.zeros((4, 4))
+        counts[0, 0] = 100.0  # one hot tile
+        counts[2:, 2:] = 1.0  # a calm quadrant
+        grid = leaf_grid(2, 2, counts)
+        metric = get_metric("average")
+        root = grid.root_region
+        hot = (UIDDomain(2).leaf(0), UIDDomain(2).leaf(0))
+        overlapping_err = evaluate_nd(grid, [root, hot], metric)
+        lpm_err = evaluate_nd(
+            grid, [root, hot], metric, semantics="longest_prefix_match"
+        )
+        # netting the hot tile out of the root makes the rest exact-ish
+        assert lpm_err <= overlapping_err + 1e-9
+
+    @pytest.mark.parametrize("budget", [2, 4, 8])
+    def test_greedy_nd_valid_and_measured(self, budget):
+        rng = np.random.default_rng(13)
+        counts = rng.integers(0, 30, (8, 8)).astype(float)
+        counts[rng.random((8, 8)) < 0.5] = 0
+        grid = leaf_grid(3, 3, counts)
+        metric = get_metric("rms")
+        from repro.algorithms import build_lpm_greedy_nd
+
+        res = build_lpm_greedy_nd(grid, metric, budget)
+        err = res.error_at(budget)
+        assert np.isfinite(err)
+        buckets = res.buckets_at(budget)
+        measured = evaluate_nd(
+            grid, buckets, metric, semantics="longest_prefix_match"
+        )
+        assert measured == pytest.approx(err, abs=1e-9)
+
+    def test_greedy_nd_not_worse_than_nonoverlapping(self):
+        rng = np.random.default_rng(14)
+        counts = rng.integers(0, 30, (8, 8)).astype(float)
+        grid = leaf_grid(3, 3, counts)
+        metric = get_metric("average")
+        from repro.algorithms import build_lpm_greedy_nd
+
+        rn = build_nonoverlapping_nd(grid, metric, 8)
+        rg = build_lpm_greedy_nd(grid, metric, 9)
+        assert rg.error_at(9) <= rn.error_at(8) * 1.5 + 1e-9

@@ -1,0 +1,134 @@
+"""Tests for the IPv4/prefix substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import UIDDomain
+from repro.net import (
+    PrefixTable,
+    PrefixTrie,
+    format_ipv4,
+    node_to_prefix,
+    parse_cidr,
+    parse_ipv4,
+    prefix_to_node,
+)
+from repro.net.ipaddr import IPV4_DOMAIN, format_cidr
+
+
+class TestIPv4:
+    def test_parse_format(self):
+        assert parse_ipv4("10.0.0.1") == (10 << 24) + 1
+        assert format_ipv4((10 << 24) + 1) == "10.0.0.1"
+        assert parse_ipv4("255.255.255.255") == 2**32 - 1
+
+    def test_parse_rejects_garbage(self):
+        for bad in ["10.0.0", "256.0.0.1", "a.b.c.d", "1.2.3.4.5"]:
+            with pytest.raises(ValueError):
+                parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(2**32)
+
+    def test_parse_cidr(self):
+        addr, length = parse_cidr("192.168.0.0/16")
+        assert format_ipv4(addr) == "192.168.0.0"
+        assert length == 16
+
+    def test_cidr_rejects_host_bits(self):
+        with pytest.raises(ValueError, match="host bits"):
+            parse_cidr("192.168.0.1/16")
+
+    def test_cidr_rejects_missing_length(self):
+        with pytest.raises(ValueError):
+            parse_cidr("192.168.0.0")
+
+    def test_prefix_node_roundtrip(self):
+        addr, length = parse_cidr("172.16.0.0/12")
+        node = prefix_to_node(addr, length)
+        assert UIDDomain.depth(node) == 12
+        assert node_to_prefix(node) == (addr, length)
+        assert format_cidr(*node_to_prefix(node)) == "172.16.0.0/12"
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ipv4_roundtrip(value):
+    assert parse_ipv4(format_ipv4(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=32), st.data())
+def test_cidr_node_roundtrip(length, data):
+    prefix = data.draw(st.integers(min_value=0, max_value=(1 << length) - 1
+                                   if length else 0))
+    addr = prefix << (32 - length) if length < 32 else prefix
+    node = prefix_to_node(addr, length)
+    assert node_to_prefix(node) == (addr, length)
+
+
+class TestPrefixTrie:
+    @pytest.fixture
+    def trie(self):
+        dom = UIDDomain(8)
+        t = PrefixTrie(dom)
+        t.insert(dom.parse_prefix_str("*"), "default")
+        t.insert(dom.parse_prefix_str("1*"), "upper")
+        t.insert(dom.parse_prefix_str("1010*"), "deep")
+        return t
+
+    def test_longest_match(self, trie):
+        dom = trie.domain
+        assert trie.lookup(0b00000000) == "default"
+        assert trie.lookup(0b11000000) == "upper"
+        assert trie.lookup(0b10100001) == "deep"
+
+    def test_all_matches_shallowest_first(self, trie):
+        dom = trie.domain
+        matches = trie.all_matches(0b10100001)
+        assert [trie.get(n) for n in matches] == ["default", "upper", "deep"]
+
+    def test_no_match(self):
+        dom = UIDDomain(4)
+        t = PrefixTrie(dom)
+        t.insert(dom.parse_prefix_str("01*"))
+        assert t.longest_match(0b1100) is None
+        with pytest.raises(KeyError):
+            t.lookup(0b1100)
+
+    def test_remove(self, trie):
+        node = trie.domain.parse_prefix_str("1010*")
+        trie.remove(node)
+        assert trie.lookup(0b10100001) == "upper"
+
+    def test_insert_invalid(self):
+        t = PrefixTrie(UIDDomain(2))
+        with pytest.raises(ValueError):
+            t.insert(1 << 10)
+
+
+class TestPrefixTable:
+    def test_nonoverlap_and_coverage_checks(self):
+        dom = UIDDomain(3)
+        t = PrefixTable(dom)
+        t.extend([dom.node(1, 0), dom.node(1, 1)])
+        assert t.is_nonoverlapping()
+        assert t.covers_domain()
+        t.add(dom.node(2, 1))
+        assert not t.is_nonoverlapping()
+
+    def test_empty_covers_nothing(self):
+        assert not PrefixTable(UIDDomain(3)).covers_domain()
+
+    def test_length_distribution(self):
+        dom = UIDDomain(3)
+        t = PrefixTable(dom)
+        t.extend([dom.node(1, 0), dom.node(2, 2), dom.node(2, 3)])
+        assert t.prefix_length_distribution() == {1: 1, 2: 2}
+
+    def test_to_trie(self):
+        dom = UIDDomain(3)
+        t = PrefixTable(dom)
+        t.add(dom.node(1, 0), "low")
+        t.add(dom.node(1, 1), "high")
+        trie = t.to_trie()
+        assert trie.lookup(0) == "low"
+        assert trie.lookup(7) == "high"

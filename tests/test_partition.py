@@ -1,0 +1,213 @@
+"""Tests for partitioning-function semantics (paper Figures 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bucket,
+    Histogram,
+    LongestPrefixMatchPartitioning,
+    NonoverlappingPartitioning,
+    OverlappingPartitioning,
+    UIDDomain,
+)
+
+DOM = UIDDomain(3)  # the paper's 3-level example hierarchy
+
+
+def node(pattern: str) -> int:
+    return DOM.parse_prefix_str(pattern)
+
+
+class TestFigure3Nonoverlapping:
+    """Figure 3: cut {0xx} {10x} {11x}; UID 010 is in partition 2...
+    we mirror the figure's structure: three disjoint subtrees."""
+
+    @pytest.fixture
+    def fn(self):
+        return NonoverlappingPartitioning(
+            DOM, [Bucket(node("0*")), Bucket(node("10*")), Bucket(node("11*"))]
+        )
+
+    def test_uid_maps_to_its_subtree(self, fn):
+        assert fn.buckets_for_uid(0b010) == [node("0*")]
+        assert fn.buckets_for_uid(0b101) == [node("10*")]
+        assert fn.buckets_for_uid(0b111) == [node("11*")]
+
+    def test_histogram_counts(self, fn):
+        hist = fn.build_histogram([0b000, 0b010, 0b101, 0b110, 0b111])
+        assert hist.get(node("0*")) == 2
+        assert hist.get(node("10*")) == 1
+        assert hist.get(node("11*")) == 2
+        assert hist.unmatched == 0
+
+    def test_covers_domain(self, fn):
+        assert fn.covers_domain()
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            NonoverlappingPartitioning(
+                DOM, [Bucket(node("0*")), Bucket(node("01*"))]
+            )
+
+    def test_sparse_rejected(self):
+        with pytest.raises(ValueError, match="sparse"):
+            NonoverlappingPartitioning(
+                DOM, [Bucket(node("0*"), sparse_group_node=node("01*"))]
+            )
+
+    def test_partial_cut_counts_unmatched(self):
+        fn = NonoverlappingPartitioning(DOM, [Bucket(node("0*"))])
+        hist = fn.build_histogram([0b000, 0b100])
+        assert hist.get(node("0*")) == 1
+        assert hist.unmatched == 1
+        assert not fn.covers_domain()
+
+
+class TestFigure4Overlapping:
+    """Figure 4: buckets {root, 1xx, 11x}; UID 110 maps to all three."""
+
+    @pytest.fixture
+    def fn(self):
+        return OverlappingPartitioning(
+            DOM, [Bucket(node("*")), Bucket(node("1*")), Bucket(node("11*"))]
+        )
+
+    def test_uid_maps_to_all_ancestors(self, fn):
+        assert fn.buckets_for_uid(0b110) == [node("*"), node("1*"), node("11*")]
+        assert fn.buckets_for_uid(0b010) == [node("*")]
+        assert fn.buckets_for_uid(0b100) == [node("*"), node("1*")]
+
+    def test_histogram_counts_nest(self, fn):
+        hist = fn.build_histogram([0b010, 0b100, 0b110, 0b111])
+        assert hist.get(node("*")) == 4
+        assert hist.get(node("1*")) == 3
+        assert hist.get(node("11*")) == 2
+
+
+class TestFigure5LongestPrefixMatch:
+    """Figure 5: buckets {root, 11x}; UID 010 -> root, UID 110 -> 11x."""
+
+    @pytest.fixture
+    def fn(self):
+        return LongestPrefixMatchPartitioning(
+            DOM, [Bucket(node("*")), Bucket(node("11*"))]
+        )
+
+    def test_closest_ancestor_wins(self, fn):
+        assert fn.buckets_for_uid(0b010) == [node("*")]
+        assert fn.buckets_for_uid(0b110) == [node("11*")]
+
+    def test_histogram_excludes_holes(self, fn):
+        hist = fn.build_histogram([0b010, 0b100, 0b110, 0b111])
+        assert hist.get(node("*")) == 2  # 010 and 100 only
+        assert hist.get(node("11*")) == 2
+
+    def test_nesting_structure(self, fn):
+        nesting = fn.nesting_parent()
+        assert nesting[node("*")] is None
+        assert nesting[node("11*")] == node("*")
+        assert fn.holes()[node("*")] == [node("11*")]
+
+    def test_deep_nesting(self):
+        fn = LongestPrefixMatchPartitioning(
+            DOM,
+            [Bucket(node("*")), Bucket(node("1*")), Bucket(node("11*"))],
+        )
+        holes = fn.holes()
+        assert holes[node("*")] == [node("1*")]
+        assert holes[node("1*")] == [node("11*")]
+
+
+class TestSparseBuckets:
+    def test_sparse_match_nodes(self):
+        b = Bucket(node("0*"), sparse_group_node=node("01*"))
+        assert b.is_sparse
+        assert b.match_nodes() == (node("0*"), node("01*"))
+
+    def test_sparse_inner_must_be_below(self):
+        with pytest.raises(ValueError, match="not below"):
+            OverlappingPartitioning(
+                DOM, [Bucket(node("0*"), sparse_group_node=node("10*"))]
+            )
+
+    def test_sparse_lpm_counting(self):
+        fn = LongestPrefixMatchPartitioning(
+            DOM,
+            [Bucket(node("*")),
+             Bucket(node("0*"), sparse_group_node=node("01*"))],
+        )
+        hist = fn.build_histogram([0b010, 0b011, 0b000, 0b100])
+        assert hist.get(node("01*")) == 2  # the sparse group, exact
+        assert hist.get(node("0*")) == 1   # residual in the "empty" region
+        assert hist.get(node("*")) == 1
+
+    def test_sparse_collision_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            OverlappingPartitioning(
+                DOM,
+                [Bucket(node("0*"), sparse_group_node=node("01*")),
+                 Bucket(node("01*"))],
+            )
+
+
+class TestStructuralValidation:
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OverlappingPartitioning(DOM, [Bucket(2), Bucket(2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OverlappingPartitioning(DOM, [])
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ValueError):
+            OverlappingPartitioning(DOM, [Bucket(1 << 10)])
+
+
+class TestSizeAccounting:
+    def test_function_size_monotone_in_buckets(self):
+        f1 = OverlappingPartitioning(DOM, [Bucket(node("*"))])
+        f2 = OverlappingPartitioning(
+            DOM, [Bucket(node("*")), Bucket(node("1*"))]
+        )
+        assert f2.size_bits() == 2 * f1.size_bits()
+
+    def test_sparse_surcharge_is_loglog(self):
+        plain = OverlappingPartitioning(DOM, [Bucket(node("0*"))])
+        sparse = OverlappingPartitioning(
+            DOM, [Bucket(node("0*"), sparse_group_node=node("01*"))]
+        )
+        surcharge = sparse.size_bits() - plain.size_bits()
+        assert 0 < surcharge < plain.size_bits()
+
+    def test_histogram_size_counts_nonzero_only(self):
+        hist = Histogram({2: 5.0, 3: 0.0})
+        assert len(hist) == 1
+        assert hist.size_bits(DOM) == hist.size_bits(DOM, counter_bits=32)
+        assert hist.size_bits(DOM, counter_bits=16) < hist.size_bits(DOM)
+
+    def test_histogram_bytes_round_up(self):
+        hist = Histogram({2: 5.0})
+        assert hist.size_bytes(DOM) == (hist.size_bits(DOM) + 7) // 8
+
+
+class TestMatchingMachinery:
+    def test_matching_nodes_for_uid_ordered_shallow_first(self):
+        fn = OverlappingPartitioning(
+            DOM, [Bucket(node("11*")), Bucket(node("*")), Bucket(node("1*"))]
+        )
+        assert fn.matching_nodes_for_uid(0b111) == [
+            node("*"), node("1*"), node("11*")
+        ]
+
+    def test_uid_out_of_domain_rejected(self):
+        fn = OverlappingPartitioning(DOM, [Bucket(node("*"))])
+        with pytest.raises(ValueError):
+            fn.matching_nodes_for_uid(8)
+
+    def test_histogram_total_and_unmatched(self):
+        fn = LongestPrefixMatchPartitioning(DOM, [Bucket(node("0*"))])
+        hist = fn.build_histogram([0, 1, 4, 5, 6])
+        assert hist.total == 5
+        assert hist.unmatched == 3

@@ -1,0 +1,166 @@
+"""Cross-cutting property-based tests tying the layers together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Bucket,
+    GroupTable,
+    LongestPrefixMatchPartitioning,
+    NonoverlappingPartitioning,
+    OverlappingPartitioning,
+    PrunedHierarchy,
+    UIDDomain,
+    evaluate_function,
+    get_metric,
+    histogram_from_group_counts,
+    reconstruct_estimates,
+)
+from repro.core.serialize import decode_function, encode_function
+
+from helpers import random_cut
+
+
+@st.composite
+def instances(draw):
+    """A random (table, counts) pair over a small domain."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    height = int(rng.integers(2, 6))
+    dom = UIDDomain(height)
+    table = GroupTable(dom, random_cut(rng, height))
+    counts = rng.integers(0, 40, len(table)).astype(float)
+    counts[rng.random(len(table)) < 0.4] = 0.0
+    return table, counts, rng
+
+
+def _expand_uids(table, counts):
+    """A uid stream realizing exactly the given group counts (each
+    group's tuples at its range start)."""
+    out = []
+    for i, c in enumerate(counts):
+        out.extend([int(table.starts[i])] * int(c))
+    return np.asarray(out, dtype=np.int64)
+
+
+def _random_nested_buckets(table, rng, sparse=False):
+    """A random bucket set containing the all-groups ancestor."""
+    top = int(table.nodes[0])
+    for g in table.nodes.tolist()[1:]:
+        top = UIDDomain.lca(top, int(g))
+    nodes = {top}
+    candidates = set()
+    for g in table.nodes.tolist():
+        candidates.add(int(g))
+        candidates.update(
+            a for a in UIDDomain.ancestors(int(g))
+            if UIDDomain.is_ancestor(top, a)
+        )
+    candidates.discard(top)
+    for node in candidates:
+        if rng.random() < 0.3:
+            nodes.add(node)
+    return [Bucket(n) for n in sorted(nodes)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_uid_level_and_count_level_histograms_agree(data):
+    """Building a histogram from raw identifiers and from exact group
+    counts must agree for every semantics (buckets sit above groups)."""
+    table, counts, rng = data
+    uids = _expand_uids(table, counts)
+    for cls in (OverlappingPartitioning, LongestPrefixMatchPartitioning):
+        fn = cls(table.domain, _random_nested_buckets(table, rng))
+        from_counts = histogram_from_group_counts(table, counts, fn)
+        from_uids = fn.build_histogram(uids)
+        assert from_uids.counts == pytest.approx(from_counts.counts)
+        assert from_uids.unmatched == pytest.approx(from_counts.unmatched)
+
+
+def _random_cut_above_groups(table, rng):
+    """A random covering cut that never descends below a group node."""
+    group_set = set(table.nodes.tolist())
+    out = []
+    stack = [1]
+    while stack:
+        node = stack.pop()
+        if node in group_set or rng.random() < 0.4:
+            out.append(node)
+        else:
+            stack.extend(UIDDomain.children(node))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_mass_conservation_for_covering_cuts(data):
+    """A covering nonoverlapping cut loses no mass in reconstruction."""
+    table, counts, rng = data
+    cut = _random_cut_above_groups(table, rng)
+    fn = NonoverlappingPartitioning(table.domain, [Bucket(n) for n in cut])
+    hist = histogram_from_group_counts(table, counts, fn)
+    est = reconstruct_estimates(table, fn, hist)
+    assert est.sum() == pytest.approx(counts.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_lpm_reconstruction_conserves_mass(data):
+    """Longest-prefix-match functions whose buckets enclose all groups
+    also conserve mass (counts are net of holes, populations too)."""
+    table, counts, rng = data
+    fn = LongestPrefixMatchPartitioning(
+        table.domain, _random_nested_buckets(table, rng)
+    )
+    hist = histogram_from_group_counts(table, counts, fn)
+    est = reconstruct_estimates(table, fn, hist)
+    assert est.sum() == pytest.approx(counts.sum())
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_wire_roundtrip_preserves_behaviour(data):
+    """encode/decode preserves not just structure but *behaviour*:
+    the decoded function yields identical errors."""
+    table, counts, rng = data
+    fn = LongestPrefixMatchPartitioning(
+        table.domain, _random_nested_buckets(table, rng)
+    )
+    out = decode_function(encode_function(fn))
+    metric = get_metric("average")
+    assert evaluate_function(table, counts, out, metric) == pytest.approx(
+        evaluate_function(table, counts, fn, metric)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_exact_window_zero_error_with_full_resolution(data):
+    """With one bucket per group (plus root), longest-prefix-match
+    reconstruction is exact."""
+    table, counts, _rng = data
+    top = int(table.nodes[0])
+    for g in table.nodes.tolist()[1:]:
+        top = UIDDomain.lca(top, int(g))
+    buckets = [Bucket(top)] + [
+        Bucket(int(n)) for n in table.nodes.tolist() if int(n) != top
+    ]
+    fn = LongestPrefixMatchPartitioning(table.domain, buckets)
+    err = evaluate_function(table, counts, fn, get_metric("average"))
+    assert err == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances(), st.integers(min_value=1, max_value=6))
+def test_dp_errors_never_negative_and_finite_when_feasible(data, budget):
+    table, counts, _rng = data
+    from repro.algorithms import build_nonoverlapping, build_overlapping
+
+    h = PrunedHierarchy(table, counts)
+    for builder in (build_nonoverlapping, build_overlapping):
+        res = builder(h, get_metric("rms"), budget)
+        err = res.error_at(budget)
+        assert err >= 0.0
+        assert np.isfinite(err)

@@ -1,0 +1,133 @@
+"""Tests for drift detection and adaptive recalibration (the paper's
+Section 6 future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro import Histogram, UIDDomain, get_metric
+from repro.data import TrafficModel, generate_subnet_table
+from repro.data.traffic import generate_timestamped_trace
+from repro.streams import MonitoringSystem, Trace
+from repro.streams.recalibrate import (
+    AdaptiveMonitoringSystem,
+    BucketDriftDetector,
+)
+
+
+class TestDriftDetector:
+    def test_identical_distribution_no_drift(self):
+        d = BucketDriftDetector(threshold=0.1, patience=1)
+        h = Histogram({1: 50.0, 2: 50.0})
+        assert not d.observe(h)  # first window anchors the reference
+        assert not d.observe(h)
+        assert d.last_score == pytest.approx(0.0)
+
+    def test_shifted_distribution_detected(self):
+        d = BucketDriftDetector(threshold=0.3, patience=1)
+        d.observe(Histogram({1: 100.0}))
+        assert d.observe(Histogram({2: 100.0}))  # total shift -> TV = 1
+        assert d.last_score == pytest.approx(1.0)
+
+    def test_unmatched_traffic_counts_as_drift(self):
+        d = BucketDriftDetector(threshold=0.3, patience=1)
+        d.observe(Histogram({1: 100.0}))
+        assert d.observe(Histogram({1: 50.0}, unmatched=50.0))
+
+    def test_patience_requires_sustained_drift(self):
+        d = BucketDriftDetector(threshold=0.3, patience=2)
+        d.observe(Histogram({1: 100.0}))
+        assert not d.observe(Histogram({2: 100.0}))  # first strike
+        assert d.observe(Histogram({2: 100.0}))      # second fires
+
+    def test_streak_resets_on_calm_window(self):
+        d = BucketDriftDetector(threshold=0.3, patience=2)
+        calm = Histogram({1: 100.0})
+        drifted = Histogram({2: 100.0})
+        d.observe(calm)
+        assert not d.observe(drifted)
+        assert not d.observe(calm)     # streak broken
+        assert not d.observe(drifted)  # needs two again
+        assert d.observe(drifted)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            BucketDriftDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            BucketDriftDetector(patience=0)
+
+
+def _drifting_workload():
+    """A trace whose active region shifts halfway through."""
+    dom = UIDDomain(12)
+    table = generate_subnet_table(dom, seed=81)
+    # phase 1 and phase 2 concentrate in different halves of the space
+    m1 = TrafficModel(mode="zipf", active_fraction=0.05, zipf_exponent=1.2)
+    ts1, u1 = generate_timestamped_trace(table, 30_000, 30.0, seed=82,
+                                         model=m1)
+    m2 = TrafficModel(mode="zipf", active_fraction=0.05, zipf_exponent=1.2)
+    ts2, u2 = generate_timestamped_trace(table, 30_000, 30.0, seed=983,
+                                         model=m2)
+    trace = Trace(
+        np.concatenate([ts1, ts2 + 30.0]), np.concatenate([u1, u2])
+    )
+    return table, trace
+
+
+class TestAdaptiveSystem:
+    def test_rebuild_fires_and_helps(self):
+        table, trace = _drifting_workload()
+        history = trace.slice_time(0, 15)
+        live = trace.slice_time(15, 60)
+        metric = get_metric("average")
+
+        static = MonitoringSystem(
+            table, metric, num_monitors=2,
+            algorithm="overlapping", budget=40,
+        )
+        static.train(history)
+        static_report = static.run(live, window_width=5.0)
+
+        adaptive = AdaptiveMonitoringSystem(
+            table, metric, num_monitors=2,
+            algorithm="overlapping", budget=40,
+            detector=BucketDriftDetector(threshold=0.3, patience=1),
+        )
+        adaptive.train(history)
+        report = adaptive.run(live, window_width=5.0)
+
+        # drift happens at t=30 -> at least one rebuild
+        assert report.rebuilds
+        # after the rebuild, the adaptive system beats the static one
+        # on the drifted tail
+        tail_static = np.mean(
+            [w.error for w in static_report.windows[-3:]]
+        )
+        tail_adaptive = np.mean([w.error for w in report.windows[-3:]])
+        assert tail_adaptive <= tail_static + 1e-9
+        # rebuilds cost downstream bytes
+        assert report.function_bytes > static_report.function_bytes
+
+    def test_no_drift_no_rebuild(self):
+        dom = UIDDomain(12)
+        table = generate_subnet_table(dom, seed=91)
+        ts, uids = generate_timestamped_trace(
+            table, 40_000, 40.0, seed=92, model=TrafficModel()
+        )
+        trace = Trace(ts, uids)
+        adaptive = AdaptiveMonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm="lpm_greedy", budget=40,
+            detector=BucketDriftDetector(threshold=0.6, patience=2),
+        )
+        adaptive.train(trace.slice_time(0, 20))
+        report = adaptive.run(trace.slice_time(20, 40), window_width=5.0)
+        assert report.rebuilds == []
+        assert len(report.drift_scores) == len(report.windows)
+
+    def test_bad_warehouse_rejected(self):
+        dom = UIDDomain(10)
+        table = generate_subnet_table(dom, seed=1)
+        with pytest.raises(ValueError):
+            AdaptiveMonitoringSystem(
+                table, get_metric("rms"), warehouse_windows=0
+            )

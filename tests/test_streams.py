@@ -1,0 +1,208 @@
+"""Tests for the stream substrate: traces, windows, queries, monitors,
+channel, control center."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bucket,
+    GroupTable,
+    LongestPrefixMatchPartitioning,
+    UIDDomain,
+    get_metric,
+)
+from repro.streams import (
+    Channel,
+    ControlCenter,
+    GroupedAggregationQuery,
+    Monitor,
+    SlidingWindows,
+    Trace,
+    TumblingWindows,
+    exact_group_counts,
+)
+
+
+class TestTrace:
+    def test_sorts_unordered_input(self):
+        t = Trace([3.0, 1.0, 2.0], [30, 10, 20])
+        assert list(t.timestamps) == [1.0, 2.0, 3.0]
+        assert list(t.uids) == [10, 20, 30]
+
+    def test_untimed(self):
+        t = Trace.untimed([5, 6, 7], rate=2.0)
+        assert list(t.timestamps) == [0.0, 0.5, 1.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1.0], [1, 2])
+
+    def test_slice_time(self):
+        t = Trace.untimed(list(range(10)))
+        piece = t.slice_time(2.0, 5.0)
+        assert list(piece.uids) == [2, 3, 4]
+
+    def test_split_partitions(self):
+        t = Trace.untimed(list(range(100)))
+        parts = t.split(3, seed=1)
+        assert sum(len(p) for p in parts) == 100
+        seen = sorted(u for p in parts for u in p.uids.tolist())
+        assert seen == list(range(100))
+
+    def test_split_deterministic(self):
+        t = Trace.untimed(list(range(50)))
+        a = t.split(2, seed=5)
+        b = t.split(2, seed=5)
+        assert np.array_equal(a[0].uids, b[0].uids)
+
+    def test_duration_and_iter(self):
+        t = Trace([0.0, 4.0], [1, 2])
+        assert t.duration == 4.0
+        assert list(t) == [(0.0, 1), (4.0, 2)]
+
+
+class TestWindows:
+    def test_tumbling_partitions_stream(self):
+        t = Trace.untimed(list(range(10)))  # timestamps 0..9
+        wins = list(TumblingWindows(4.0).segment(t))
+        assert [len(w) for w in wins] == [4, 4, 2]
+        assert wins[0].start == 0.0 and wins[1].start == 4.0
+
+    def test_tumbling_empty_trace(self):
+        assert list(TumblingWindows(1.0).segment(Trace([], []))) == []
+
+    def test_sliding_overlap(self):
+        t = Trace.untimed(list(range(8)))
+        wins = list(SlidingWindows(4.0, 2.0).segment(t))
+        assert [len(w) for w in wins[:3]] == [4, 4, 4]
+        assert wins[1].start == 2.0
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            TumblingWindows(0.0)
+        with pytest.raises(ValueError):
+            SlidingWindows(2.0, 3.0)
+        with pytest.raises(ValueError):
+            SlidingWindows(2.0, 0.0)
+
+
+@pytest.fixture
+def table():
+    dom = UIDDomain(4)
+    return GroupTable(dom, [dom.node(2, p) for p in range(4)],
+                      ["g0", "g1", "g2", "g3"])
+
+
+class TestQuery:
+    def test_exact_counts(self, table):
+        counts = exact_group_counts(table, [0, 1, 4, 8, 8, 15])
+        assert list(counts) == [2, 1, 2, 1]
+
+    def test_windowed_run(self, table):
+        t = Trace.untimed([0, 4, 8, 12, 0, 4])
+        q = GroupedAggregationQuery(table, TumblingWindows(4.0))
+        results = list(q.run(t))
+        assert len(results) == 2
+        _w0, counts0 = results[0]
+        assert counts0.sum() == 4
+
+    def test_answer_dict_nonzero_only(self, table):
+        q = GroupedAggregationQuery(table)
+        ans = q.answer_dict([0, 0, 15])
+        assert ans == {"g0": 2.0, "g3": 1.0}
+
+
+class TestMonitorAndChannel:
+    def test_monitor_requires_function(self):
+        m = Monitor("m0")
+        with pytest.raises(RuntimeError):
+            m.process_window(0, [1, 2])
+
+    def test_monitor_histograms(self, table):
+        dom = table.domain
+        fn = LongestPrefixMatchPartitioning(dom, [Bucket(1)])
+        m = Monitor("m0")
+        m.install_function(fn, version=0)
+        msg = m.process_window(3, [0, 1, 2])
+        assert msg.window_index == 3
+        assert msg.histogram.get(1) == 3
+        assert m.tuples_processed == 3
+
+    def test_channel_accounting(self, table):
+        dom = table.domain
+        fn = LongestPrefixMatchPartitioning(dom, [Bucket(1)])
+        ch = Channel(dom)
+        ch.send_function(fn)
+        assert ch.downstream_bytes == (fn.size_bits() + 7) // 8
+        m = Monitor("m0")
+        m.install_function(fn, 0)
+        msg = m.process_window(0, [0, 1])
+        ch.send_histogram(msg)
+        assert ch.upstream_bytes == msg.size_bytes(dom)
+        assert ch.total_bytes == ch.upstream_bytes + ch.downstream_bytes
+        assert ch.raw_stream_bytes(100) == 100 * ((dom.height + 7) // 8)
+
+
+class TestControlCenter:
+    def test_rebuild_and_decode(self, table):
+        cc = ControlCenter(table, get_metric("rms"),
+                           algorithm="overlapping", budget=4)
+        history = np.array([10.0, 0.0, 5.0, 5.0])
+        fn = cc.rebuild_function(history)
+        m = Monitor("m0")
+        m.install_function(fn, cc.function_version)
+        msg = m.process_window(0, [0, 1, 8, 12])
+        est = cc.decode([msg])
+        assert est.shape == (4,)
+        assert est.sum() == pytest.approx(4.0)
+
+    def test_merge_histograms(self, table):
+        cc = ControlCenter(table, get_metric("rms"), budget=2)
+        fn = cc.rebuild_function(np.array([1.0, 1, 1, 1]))
+        monitors = [Monitor(f"m{i}") for i in range(2)]
+        msgs = []
+        for i, m in enumerate(monitors):
+            m.install_function(fn, cc.function_version)
+            msgs.append(m.process_window(0, [i * 4, i * 4 + 1]))
+        merged = cc.merge_histograms(msgs)
+        assert merged.total == 4
+
+    def test_stale_function_rejected(self, table):
+        cc = ControlCenter(table, get_metric("rms"), budget=2)
+        fn = cc.rebuild_function(np.ones(4))
+        m = Monitor("m0")
+        m.install_function(fn, cc.function_version)
+        msg = m.process_window(0, [0])
+        cc.rebuild_function(np.ones(4))  # version bump
+        with pytest.raises(ValueError, match="stale"):
+            cc.decode([msg])
+
+    def test_decode_without_function_rejected(self, table):
+        cc = ControlCenter(table, get_metric("rms"))
+        with pytest.raises(RuntimeError):
+            cc.decode([])
+
+    def test_approximate_answer_keys(self, table):
+        cc = ControlCenter(table, get_metric("rms"),
+                           algorithm="nonoverlapping", budget=4)
+        fn = cc.rebuild_function(np.array([5.0, 0, 0, 5.0]))
+        m = Monitor("m0")
+        m.install_function(fn, cc.function_version)
+        msg = m.process_window(0, [0, 15])
+        ans = cc.approximate_answer([msg])
+        assert set(ans) <= {"g0", "g1", "g2", "g3"}
+        assert sum(ans.values()) == pytest.approx(2.0)
+
+
+class TestChannelCounterBits:
+    def test_narrow_counters_shrink_messages(self, table):
+        dom = table.domain
+        fn = LongestPrefixMatchPartitioning(dom, [Bucket(1)])
+        wide = Channel(dom, counter_bits=32)
+        narrow = Channel(dom, counter_bits=16)
+        m = Monitor("m0")
+        m.install_function(fn, 0)
+        msg = m.process_window(0, [0, 1, 2])
+        wide.send_histogram(msg)
+        narrow.send_histogram(msg)
+        assert narrow.upstream_bytes <= wide.upstream_bytes

@@ -1,0 +1,89 @@
+"""End-to-end tests of the monitoring system (Figure 1 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro import UIDDomain, get_metric
+from repro.data import TrafficModel, generate_subnet_table
+from repro.data.traffic import generate_timestamped_trace
+from repro.streams import MonitoringSystem, Trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dom = UIDDomain(10)
+    table = generate_subnet_table(dom, seed=2)
+    ts, uids = generate_timestamped_trace(
+        table, 8000, duration=40.0, seed=4,
+        model=TrafficModel(active_fraction=0.15, zipf_exponent=1.2),
+    )
+    trace = Trace(ts, uids)
+    return table, trace.slice_time(0, 20), trace.slice_time(20, 40)
+
+
+@pytest.mark.parametrize("algorithm", ["nonoverlapping", "overlapping",
+                                       "lpm_greedy"])
+def test_pipeline_runs_for_every_algorithm(workload, algorithm):
+    table, history, live = workload
+    system = MonitoringSystem(
+        table, get_metric("rms"), num_monitors=2,
+        algorithm=algorithm, budget=40,
+    )
+    system.train(history)
+    report = system.run(live, window_width=5.0)
+    assert len(report.windows) >= 3
+    assert np.isfinite(report.mean_error)
+    assert report.upstream_bytes > 0
+
+
+def test_histograms_beat_raw_stream(workload):
+    table, history, live = workload
+    system = MonitoringSystem(
+        table, get_metric("rms"), num_monitors=3,
+        algorithm="lpm_greedy", budget=50,
+    )
+    system.train(history)
+    report = system.run(live, window_width=5.0)
+    assert report.compression_ratio > 2.0
+    assert report.raw_bytes == sum(w.raw_bytes for w in report.windows)
+
+
+def test_more_budget_decreases_error(workload):
+    table, history, live = workload
+    errors = {}
+    for budget in (5, 80):
+        system = MonitoringSystem(
+            table, get_metric("average"), num_monitors=2,
+            algorithm="overlapping", budget=budget,
+        )
+        system.train(history)
+        errors[budget] = system.run(live, window_width=10.0).mean_error
+    assert errors[80] <= errors[5] + 1e-9
+
+
+def test_run_before_train_rejected(workload):
+    table, _history, live = workload
+    system = MonitoringSystem(table, get_metric("rms"))
+    with pytest.raises(RuntimeError):
+        system.run(live, window_width=5.0)
+
+
+def test_monitor_count_validated(workload):
+    table, _h, _l = workload
+    with pytest.raises(ValueError):
+        MonitoringSystem(table, get_metric("rms"), num_monitors=0)
+
+
+def test_single_monitor_equals_exact_bucket_counts(workload):
+    """With one monitor, merged histograms must equal the histogram of
+    the whole window: splitting traffic across monitors is lossless."""
+    table, history, live = workload
+    sys1 = MonitoringSystem(table, get_metric("rms"), num_monitors=1,
+                            algorithm="overlapping", budget=30)
+    sys3 = MonitoringSystem(table, get_metric("rms"), num_monitors=3,
+                            algorithm="overlapping", budget=30)
+    sys1.train(history)
+    sys3.train(history)
+    r1 = sys1.run(live, window_width=20.0)
+    r3 = sys3.run(live, window_width=20.0)
+    assert r1.windows[0].error == pytest.approx(r3.windows[0].error, rel=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the Haar-wavelet synopsis baseline."""
+
+import numpy as np
+import pytest
+
+from repro import GroupTable, UIDDomain, get_metric
+from repro.baselines import build_wavelet
+from repro.baselines.wavelet import haar_decompose, haar_reconstruct
+
+
+class TestHaarTransform:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 4, 8, 64):
+            v = rng.random(n) * 100
+            assert np.allclose(haar_reconstruct(haar_decompose(v)), v)
+
+    def test_known_values(self):
+        c = haar_decompose(np.array([4.0, 2.0, 5.0, 5.0]))
+        assert c[0] == 4.0          # overall average
+        assert c[1] == pytest.approx(-1.0)   # top detail: (3 - 5) / 2
+        assert c[2] == pytest.approx(1.0)    # left pair detail
+        assert c[3] == pytest.approx(0.0)    # right pair detail
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            haar_decompose(np.ones(3))
+
+    def test_constant_vector_one_coefficient(self):
+        c = haar_decompose(np.full(8, 7.0))
+        assert c[0] == 7.0
+        assert np.allclose(c[1:], 0.0)
+
+
+@pytest.fixture
+def setup():
+    dom = UIDDomain(4)
+    table = GroupTable(dom, [dom.node(4, p) for p in range(16)])
+    rng = np.random.default_rng(3)
+    counts = rng.integers(0, 50, 16).astype(float)
+    counts[rng.random(16) < 0.4] = 0
+    return table, counts
+
+
+class TestWaveletHistogram:
+    def test_full_budget_exact(self, setup):
+        table, counts = setup
+        w = build_wavelet(table, counts, 16)
+        assert np.allclose(w.estimates(16), counts)
+        assert w.error(get_metric("rms"), 16) == pytest.approx(0.0)
+
+    def test_single_coefficient_is_mean(self, setup):
+        table, counts = setup
+        w = build_wavelet(table, counts, 4)
+        est = w.estimates(1)
+        assert np.allclose(est, counts.mean())
+
+    def test_error_curve_monotone(self, setup):
+        table, counts = setup
+        w = build_wavelet(table, counts, 16)
+        curve = w.error_curve(get_metric("rms"))
+        # L2 thresholding is RMS-optimal per retained set, and the
+        # retained sets are nested, so the curve is nonincreasing.
+        assert np.all(np.diff(curve[1:]) <= 1e-9)
+
+    def test_rms_thresholding_beats_random_choice(self, setup):
+        table, counts = setup
+        w = build_wavelet(table, counts, 16)
+        metric = get_metric("rms")
+        rng = np.random.default_rng(9)
+        b = 4
+        best = w.error(metric, b)
+        coeffs = haar_decompose(
+            np.concatenate([counts, np.zeros(0)])
+        )
+        for _ in range(10):
+            idx = rng.choice(16, size=b, replace=False)
+            sparse = np.zeros(16)
+            sparse[idx] = coeffs[idx]
+            est = haar_reconstruct(sparse)
+            assert best <= metric.evaluate(counts, est) + 1e-9
+
+    def test_non_power_of_two_groups_padded(self):
+        dom = UIDDomain(4)
+        table = GroupTable(
+            dom, [dom.node(4, p) for p in range(10)] + [dom.node(2, 3)]
+        )
+        counts = np.arange(11, dtype=float)
+        w = build_wavelet(table, counts, 16)
+        assert np.allclose(w.estimates(16), counts)
+
+    def test_size_accounting(self, setup):
+        table, counts = setup
+        w = build_wavelet(table, counts, 8)
+        assert w.size_bits(4) < w.size_bits(8)
+
+    def test_bad_budget_rejected(self, setup):
+        table, counts = setup
+        with pytest.raises(ValueError):
+            build_wavelet(table, counts, 0)
