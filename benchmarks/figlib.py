@@ -18,7 +18,8 @@ time the headline construction and persist the series to
 from __future__ import annotations
 
 import functools
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -30,12 +31,14 @@ from repro.algorithms import (
     build_overlapping,
 )
 from repro.baselines import build_end_biased, build_v_optimal
+from repro.obs import MetricsRegistry, use_registry, write_metrics
 
 from workloads import (
     BUDGETS,
     QUANTIZED_BEAM,
     QUANTIZED_BUDGETS,
     QUANTIZED_THETA,
+    RESULTS_DIR,
     FigureWorkload,
     figure_workload,
     format_table,
@@ -90,9 +93,43 @@ def figure_series(metric_name: str) -> Dict[str, Dict[int, float]]:
     return out
 
 
-def report_figure(figure: str, metric_name: str) -> str:
-    """Persist and render one figure's series."""
-    series = figure_series(metric_name)
+def capture_profile(metric_name: str, path: str) -> str:
+    """Re-run one figure's constructions under a live metrics registry
+    and write the collected profile (phase spans, DP sizes, timings) as
+    JSON-lines to ``path``.  Returns the path."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        # Bypass the series cache: a cached result records no spans.
+        figure_series.__wrapped__(metric_name)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    write_metrics(registry, path, "json")
+    return path
+
+
+def report_figure(
+    figure: str, metric_name: str, profile: Optional[bool] = None
+) -> str:
+    """Persist and render one figure's series.
+
+    With ``profile=True`` (or ``REPRO_PROFILE=1`` in the environment) a
+    construction profile is captured alongside the figure CSV, at
+    ``benchmarks/results/<figure>_<metric>_profile.jsonl`` — inspect it
+    with ``repro stats``.
+    """
+    if profile is None:
+        profile = bool(os.environ.get("REPRO_PROFILE"))
+    if profile:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            series = figure_series(metric_name)
+        path = os.path.join(
+            RESULTS_DIR, f"{figure}_{metric_name}_profile.jsonl"
+        )
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        write_metrics(registry, path, "json")
+        print(f"profile: {path}")
+    else:
+        series = figure_series(metric_name)
     header = ["buckets"] + SERIES
     rows: List[List[object]] = []
     for b in BUDGETS:

@@ -57,6 +57,14 @@ from .algorithms import (
     build_nonoverlapping,
     build_overlapping,
 )
+from .obs import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    span,
+    use_registry,
+    write_metrics,
+)
 
 __version__ = "1.0.0"
 
@@ -97,4 +105,11 @@ __all__ = [
     "build_overlapping",
     "OverlappingDP",
     "build_lpm_greedy",
+    # observability
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "span",
+    "write_metrics",
 ]

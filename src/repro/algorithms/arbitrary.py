@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..core.domain import ROOT, UIDDomain
 from ..core.groups import GroupTable
+from ..obs import span
 
 __all__ = ["ANode", "ArbitraryHierarchy"]
 
@@ -108,6 +109,14 @@ class ArbitraryHierarchy:
         """Assign binary blocks and return the covering binary domain."""
         if self._domain is not None:
             return self._domain
+        with span("arbitrary.finalize") as sp:
+            domain = self._finalize()
+            sp.annotate(
+                nodes=sum(1 for _ in self.nodes()), height=domain.height
+            )
+        return domain
+
+    def _finalize(self) -> UIDDomain:
         # First pass: bit depth of every node.
         height = 0
         stack: List[Tuple[ANode, int]] = [(self.root, 0)]

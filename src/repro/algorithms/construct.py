@@ -12,6 +12,7 @@ from typing import Callable, Dict, Iterable
 
 from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PrunedHierarchy
+from ..obs import get_registry, span
 from .base import ConstructionResult
 from .lpm_greedy import build_lpm_greedy
 from .lpm_kholes import build_lpm_kholes
@@ -49,7 +50,27 @@ def build(
         raise KeyError(
             f"unknown construction algorithm {algorithm!r}; known: {known}"
         )
-    return builder(hierarchy, metric, budget, **options)
+    with span(
+        "build", algorithm=algorithm, budget=budget,
+        nodes=len(hierarchy.nodes),
+    ) as sp:
+        result = builder(hierarchy, metric, budget, **options)
+        sp.annotate(**result.stats)
+    registry = get_registry()
+    if registry.enabled:
+        registry.timer("build.duration", algorithm=algorithm).observe(
+            sp.duration
+        )
+        registry.counter("build.calls", algorithm=algorithm).inc()
+        registry.counter("build.size.nodes", algorithm=algorithm).inc(
+            len(hierarchy.nodes)
+        )
+        registry.counter("build.size.budget", algorithm=algorithm).inc(budget)
+        for key, value in result.stats.items():
+            registry.gauge(
+                f"build.stats.{key}", algorithm=algorithm
+            ).set(value)
+    return result
 
 
 def available_algorithms() -> Iterable[str]:

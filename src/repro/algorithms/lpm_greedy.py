@@ -36,6 +36,7 @@ from ..core.errors import PenaltyMetric
 from ..core.estimate import evaluate_function
 from ..core.hierarchy import PrunedHierarchy
 from ..core.partition import Bucket, LongestPrefixMatchPartitioning
+from ..obs import span
 from .base import INF, ConstructionResult
 from .overlapping import OverlappingDP
 
@@ -130,7 +131,8 @@ def build_lpm_greedy(
         raise ValueError(f"unknown ranking mode {rank!r}")
     pool_budget = max(budget, int(np.ceil(budget * overprovision)))
     if dp is None:
-        dp = OverlappingDP(hierarchy, metric, pool_budget, sparse=sparse)
+        with span("lpm_greedy.pool", budget=pool_budget):
+            dp = OverlappingDP(hierarchy, metric, pool_budget, sparse=sparse)
     root_node = hierarchy.root.node
     table = hierarchy.table
     counts = hierarchy.counts
@@ -175,8 +177,18 @@ def build_lpm_greedy(
         if curve_budgets is None
         else sorted({min(budget, max(1, b)) for b in curve_budgets})
     )
-    for b in budgets:
-        curve[b] = evaluate_function(table, counts, make_function(b), metric)
+    with span(
+        "lpm_greedy.curve", budget=budget, rank=rank,
+        overprovision=overprovision,
+    ) as sp:
+        for b in budgets:
+            curve[b] = evaluate_function(
+                table, counts, make_function(b), metric
+            )
+        sp.annotate(
+            evaluations=len(budgets),
+            pool=max(pool_sizes.values(), default=0),
+        )
     best = INF
     for b in range(1, budget + 1):
         best = min(best, curve[b])

@@ -30,6 +30,7 @@ from ..core.domain import UIDDomain
 from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, LongestPrefixMatchPartitioning
+from ..obs import span
 from .base import INF, ConstructionResult, DPContext, knapsack_merge
 
 __all__ = ["build_lpm_kholes", "split_to_k_holes"]
@@ -67,7 +68,12 @@ def build_lpm_kholes(
     ctx = DPContext(hierarchy, metric)
     solver = _KHolesSolver(hierarchy, metric, ctx, budget, k, sparse)
     root = hierarchy.root
-    table = solver.bucket_table(root)
+    with span(
+        "lpm_kholes.search", budget=budget, k=k,
+        nodes=len(hierarchy.nodes),
+    ) as sp:
+        table = solver.bucket_table(root)
+        sp.annotate(antichains=solver.antichains_examined)
     curve = np.full(budget + 1, INF)
     upto = min(budget, len(table) - 1)
     curve[1 : upto + 1] = ctx.finalize_curve(table[1 : upto + 1])
@@ -97,6 +103,7 @@ class _KHolesSolver:
         self.budget = budget
         self.k = k
         self.sparse = sparse
+        self.antichains_examined = 0
         self._tables: Dict[int, np.ndarray] = {}
         self._choices: Dict[int, List[Optional[Tuple]]] = {}
         self._descendants: Dict[int, List[PNode]] = {}
@@ -153,6 +160,7 @@ class _KHolesSolver:
             table[1] = 0.0
             choices[1] = ("sparse",)
         for holes in self.antichains(p):
+            self.antichains_examined += 1
             if not holes:
                 pen = self.region_penalty(p, (), p.density)
                 if pen < table[1]:

@@ -31,6 +31,7 @@ from ..core.errors import PenaltyMetric
 from ..core.estimate import evaluate_function
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, LongestPrefixMatchPartitioning
+from ..obs import span
 from .base import INF, ConstructionResult, DPContext
 
 __all__ = ["build_lpm_quantized", "Quantizer"]
@@ -109,7 +110,12 @@ def build_lpm_quantized(
     if budget < 1:
         raise ValueError(f"budget must be at least 1, got {budget}")
     solver = _QuantizedSolver(hierarchy, metric, budget, theta, beam, sparse)
-    table = solver.solve_root()
+    with span(
+        "lpm_quantized.solve", budget=budget, theta=theta, beam=beam,
+        nodes=len(hierarchy.nodes),
+    ) as sp:
+        table = solver.solve_root()
+        sp.annotate(density_cells=len(solver.d_cells))
     curve = np.full(budget + 1, INF)
     cache: Dict[int, LongestPrefixMatchPartitioning] = {}
 
@@ -135,11 +141,12 @@ def build_lpm_quantized(
         if curve_budgets is None
         else sorted({min(budget, max(1, b)) for b in curve_budgets})
     )
-    for b in budgets:
-        fn = make_function(b)
-        curve[b] = evaluate_function(
-            hierarchy.table, hierarchy.counts, fn, metric
-        )
+    with span("lpm_quantized.curve", evaluations=len(budgets)):
+        for b in budgets:
+            fn = make_function(b)
+            curve[b] = evaluate_function(
+                hierarchy.table, hierarchy.counts, fn, metric
+            )
     best = INF
     for b in range(1, budget + 1):
         best = min(best, curve[b])

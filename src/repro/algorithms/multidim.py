@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.domain import ROOT, UIDDomain
 from ..core.errors import DistributiveErrorMetric, PenaltyMetric
+from ..obs import span
 from .base import INF, knapsack_merge
 
 __all__ = ["GridGroups", "MultiDimResult", "build_nonoverlapping_nd",
@@ -217,7 +218,12 @@ def build_nonoverlapping_nd(
         return table
 
     root = grid.root_region
-    root_table = solve(root)
+    with span(
+        "dp.nonoverlapping_nd.solve", budget=budget, ndim=grid.ndim,
+        tiles=int(grid.counts.size),
+    ) as sp:
+        root_table = solve(root)
+        sp.annotate(regions=len(tables))
     curve = np.full(budget + 1, INF)
     upto = min(budget, len(root_table) - 1)
     curve[1 : upto + 1] = _finalize_curve(grid, metric, root_table[1 : upto + 1])
@@ -332,7 +338,14 @@ def build_overlapping_nd(
         return table
 
     root = grid.root_region
-    root_table = solve_bucket(root)
+    with span(
+        "dp.overlapping_nd.solve", budget=budget, ndim=grid.ndim,
+        tiles=int(grid.counts.size),
+    ) as sp:
+        root_table = solve_bucket(root)
+        sp.annotate(
+            regions=len(bucket_tables), full_states=len(full_tables)
+        )
     curve = np.full(budget + 1, INF)
     upto = min(budget, len(root_table) - 1)
     curve[1 : upto + 1] = _finalize_curve(grid, metric, root_table[1 : upto + 1])
@@ -446,13 +459,14 @@ def build_lpm_greedy_nd(
     """
     over = build_overlapping_nd(grid, metric, budget)
     curve = np.full(budget + 1, INF)
-    for b in range(1, budget + 1):
-        if not np.isfinite(over.curve[b]):
-            continue
-        curve[b] = evaluate_nd(
-            grid, over._materialize(b), metric,
-            semantics="longest_prefix_match",
-        )
+    with span("lpm_greedy_nd.curve", budget=budget, ndim=grid.ndim):
+        for b in range(1, budget + 1):
+            if not np.isfinite(over.curve[b]):
+                continue
+            curve[b] = evaluate_nd(
+                grid, over._materialize(b), metric,
+                semantics="longest_prefix_match",
+            )
     best = INF
     for b in range(1, budget + 1):
         best = min(best, curve[b])

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, NonoverlappingPartitioning
+from ..obs import span
 from .base import INF, ConstructionResult, DPContext, knapsack_merge
 
 __all__ = ["build_nonoverlapping"]
@@ -64,9 +65,14 @@ def build_nonoverlapping(
     if budget < 1:
         raise ValueError(f"budget must be at least 1, got {budget}")
     ctx = DPContext(hierarchy, metric)
-    root_table, splits = _sweep(
-        hierarchy.root, ctx, budget, keep_splits=not low_memory
-    )
+    with span(
+        "dp.nonoverlapping.sweep", budget=budget,
+        nodes=len(hierarchy.nodes), low_memory=low_memory,
+    ) as sp:
+        root_table, splits = _sweep(
+            hierarchy.root, ctx, budget, keep_splits=not low_memory
+        )
+        sp.annotate(root_entries=int(len(root_table)) - 1)
     curve = np.full(budget + 1, INF)
     upto = min(budget, len(root_table) - 1)
     curve[1 : upto + 1] = ctx.finalize_curve(root_table[1 : upto + 1])
@@ -80,10 +86,14 @@ def build_nonoverlapping(
     def make_function(b: int) -> NonoverlappingPartitioning:
         b = min(b, upto)
         bucket_nodes: List[int] = []
-        if low_memory:
-            _collect_multipass(hierarchy.root, b, ctx, budget, bucket_nodes)
-        else:
-            _collect(hierarchy.root, b, splits, bucket_nodes)
+        with span("dp.nonoverlapping.collect", budget=b) as sp:
+            if low_memory:
+                _collect_multipass(
+                    hierarchy.root, b, ctx, budget, bucket_nodes
+                )
+            else:
+                _collect(hierarchy.root, b, splits, bucket_nodes)
+            sp.annotate(buckets=len(bucket_nodes))
         return NonoverlappingPartitioning(
             hierarchy.domain, [Bucket(v) for v in bucket_nodes]
         )

@@ -35,6 +35,7 @@ import numpy as np
 from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, OverlappingPartitioning
+from ..obs import span
 from .base import INF, ConstructionResult, DPContext, knapsack_merge
 
 __all__ = ["build_overlapping", "OverlappingDP"]
@@ -89,7 +90,16 @@ class OverlappingDP:
         # consumed them (the paper's Section 4.4 space optimization —
         # reconstruction uses the retained choice arrays instead).
         self._tables: Dict[int, Dict[int, np.ndarray]] = {}
-        root_bucket_table = self._solve(hierarchy.root, [])
+        with span(
+            "dp.overlapping.solve", budget=budget,
+            nodes=len(hierarchy.nodes), sparse=sparse,
+        ) as sp:
+            root_bucket_table = self._solve(hierarchy.root, [])
+            sp.annotate(
+                sparse_collapses=sum(
+                    1 for r in self.records if r.sparse_at is not None
+                ),
+            )
         self.root_table = root_bucket_table
 
     # ------------------------------------------------------------------
@@ -203,7 +213,9 @@ class OverlappingDP:
         """Materialize the optimal bucket set for budget ``b``."""
         out: List[Bucket] = []
         b = max(1, min(b, len(self.root_table) - 1))
-        self._collect_bucket(self.hierarchy.root, b, out)
+        with span("dp.overlapping.collect", budget=b) as sp:
+            self._collect_bucket(self.hierarchy.root, b, out)
+            sp.annotate(buckets=len(out))
         return out
 
     def _collect_bucket(self, p: PNode, b: int, out: List[Bucket]) -> None:

@@ -17,6 +17,11 @@ Subcommands::
     python -m repro inspect   fn.bin
     python -m repro simulate  --height 14 --algorithm overlapping \\
                               --budget 60 --monitors 4
+    python -m repro stats     run.jsonl
+
+Every subcommand accepts ``--metrics PATH`` (and ``--metrics-format
+{json,csv,prom}``) to capture construction/pipeline instrumentation to
+a file; ``repro stats`` pretty-prints a captured JSON-lines file.
 
 Run ``python -m repro <subcommand> --help`` for the full flag set.
 """
@@ -46,6 +51,14 @@ from .core import (
 )
 from .data import TrafficModel, generate_subnet_table, generate_trace
 from .data.traffic import generate_timestamped_trace
+from .obs import (
+    EXPORT_FORMATS,
+    MetricsRegistry,
+    load_jsonl,
+    render_summary,
+    use_registry,
+    write_metrics,
+)
 from .streams import MonitoringSystem, Trace
 
 __all__ = ["main"]
@@ -172,6 +185,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        records = load_jsonl(args.metrics_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(render_summary(records))
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -179,9 +202,21 @@ def _parser() -> argparse.ArgumentParser:
         "(Reiss, Garofalakis & Hellerstein, VLDB 2006).",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    # Observability flags, shared by every subcommand.
+    metrics = argparse.ArgumentParser(add_help=False)
+    metrics.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="capture instrumentation (timings, counters, spans) to PATH",
+    )
+    metrics.add_argument(
+        "--metrics-format", choices=EXPORT_FORMATS, default="json",
+        help="metrics file format (default json = JSON-lines, readable "
+        "by 'repro stats')",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    g = sub.add_parser("generate", help="generate a synthetic workload")
+    g = sub.add_parser("generate", help="generate a synthetic workload",
+                       parents=[metrics])
     g.add_argument("--height", type=int, default=16,
                    help="identifier domain height (default 16)")
     g.add_argument("--packets", type=int, default=500_000)
@@ -189,7 +224,8 @@ def _parser() -> argparse.ArgumentParser:
     g.add_argument("-o", "--output", required=True, help="output .npz path")
     g.set_defaults(func=_cmd_generate)
 
-    b = sub.add_parser("build", help="construct a partitioning function")
+    b = sub.add_parser("build", help="construct a partitioning function",
+                       parents=[metrics])
     b.add_argument("workload", help="workload .npz from 'generate'")
     b.add_argument("--algorithm", default="lpm_greedy",
                    choices=sorted(available_algorithms()))
@@ -201,17 +237,20 @@ def _parser() -> argparse.ArgumentParser:
     b.set_defaults(func=_cmd_build)
 
     e = sub.add_parser("evaluate",
-                       help="score a function against a workload")
+                       help="score a function against a workload",
+                       parents=[metrics])
     e.add_argument("workload")
     e.add_argument("function")
     e.set_defaults(func=_cmd_evaluate)
 
-    i = sub.add_parser("inspect", help="print a function's buckets")
+    i = sub.add_parser("inspect", help="print a function's buckets",
+                       parents=[metrics])
     i.add_argument("function")
     i.set_defaults(func=_cmd_inspect)
 
     s = sub.add_parser("simulate",
-                       help="run the end-to-end monitoring pipeline")
+                       help="run the end-to-end monitoring pipeline",
+                       parents=[metrics])
     s.add_argument("--height", type=int, default=14)
     s.add_argument("--packets", type=int, default=200_000)
     s.add_argument("--duration", type=float, default=60.0)
@@ -225,12 +264,25 @@ def _parser() -> argparse.ArgumentParser:
                    choices=sorted(available_metrics()))
     s.add_argument("--budget", type=int, default=80)
     s.set_defaults(func=_cmd_simulate)
+
+    st = sub.add_parser("stats",
+                        help="pretty-print a captured metrics file")
+    st.add_argument("metrics_file",
+                    help="JSON-lines file written by --metrics")
+    st.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
-    return args.func(args)
+    metrics_path = getattr(args, "metrics", None)
+    if not metrics_path:
+        return args.func(args)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        rc = args.func(args)
+    write_metrics(registry, metrics_path, args.metrics_format)
+    return rc
 
 
 if __name__ == "__main__":

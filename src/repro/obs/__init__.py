@@ -1,0 +1,70 @@
+"""Observability: metrics registry, tracing spans, exporters.
+
+The measurement layer for the reproduction — see
+``docs/observability.md`` for the metric catalog.  Instrumentation is
+disabled by default (the current registry is a no-op
+:class:`NullRegistry`); enable it by scoping a live registry::
+
+    from repro.obs import MetricsRegistry, use_registry, write_metrics
+
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        build("lpm_greedy", hierarchy, metric, budget=100)
+    write_metrics(reg, "run.jsonl", "json")
+
+or from the CLI with ``repro <cmd> --metrics run.jsonl`` and inspect
+the result with ``repro stats run.jsonl``.
+"""
+
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    HistogramInstrument,
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecord,
+    Timer,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import Span, current_span, span
+from .export import (
+    EXPORT_FORMATS,
+    load_jsonl,
+    registry_records,
+    render_summary,
+    to_csv,
+    to_jsonl,
+    to_prometheus,
+    write_metrics,
+)
+
+__all__ = [
+    # registry
+    "Counter",
+    "Gauge",
+    "HistogramInstrument",
+    "Timer",
+    "SpanRecord",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    # spans
+    "span",
+    "Span",
+    "current_span",
+    # exporters
+    "EXPORT_FORMATS",
+    "registry_records",
+    "to_jsonl",
+    "to_csv",
+    "to_prometheus",
+    "write_metrics",
+    "load_jsonl",
+    "render_summary",
+]

@@ -1,0 +1,281 @@
+"""Exporters for a :class:`~repro.obs.registry.MetricsRegistry`.
+
+Three wire formats plus a human-readable summary:
+
+* **JSON-lines** (``.jsonl``) — one record per line; the only format
+  ``repro stats`` reads back, and the round-trip format of choice.
+* **CSV** — flat table for spreadsheets; labels and span payloads are
+  encoded ``k=v;k=v``.
+* **Prometheus text** — counters/gauges/histograms in the exposition
+  format (names sanitized to ``[a-zA-Z0-9_]``); spans are not emitted
+  directly since every span already feeds its ``<name>.duration``
+  timer.
+
+Record dictionaries share a common shape across formats::
+
+    {"type": "counter"|"gauge", "name", "labels", "value"}
+    {"type": "histogram"|"timer", "name", "labels",
+     "count", "sum", "min", "max", "mean"}
+    {"type": "span", "name", "parent", "start", "duration",
+     "payload", "thread"}
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List
+
+from .registry import (
+    Counter,
+    Gauge,
+    HistogramInstrument,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "registry_records",
+    "to_jsonl",
+    "to_csv",
+    "to_prometheus",
+    "write_metrics",
+    "load_jsonl",
+    "render_summary",
+    "EXPORT_FORMATS",
+]
+
+#: ``--metrics-format`` choice -> (renderer, conventional extension).
+EXPORT_FORMATS = ("json", "csv", "prom")
+
+
+def registry_records(registry: MetricsRegistry) -> List[Dict]:
+    """Flatten a registry into export records (metrics, then spans)."""
+    records: List[Dict] = []
+    for kind, inst in registry.instruments():
+        labels = dict(inst.labels)
+        if isinstance(inst, HistogramInstrument):
+            records.append({
+                "type": kind,
+                "name": inst.name,
+                "labels": labels,
+                "count": inst.count,
+                "sum": inst.sum,
+                "min": inst.min if inst.count else 0.0,
+                "max": inst.max if inst.count else 0.0,
+                "mean": inst.mean,
+            })
+        elif isinstance(inst, (Counter, Gauge)):
+            records.append({
+                "type": kind,
+                "name": inst.name,
+                "labels": labels,
+                "value": inst.value,
+            })
+    for sp in registry.spans:
+        records.append({
+            "type": "span",
+            "name": sp.name,
+            "parent": sp.parent,
+            "start": sp.start,
+            "duration": sp.duration,
+            "payload": dict(sp.payload),
+            "thread": sp.thread,
+        })
+    return records
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    lines = [
+        json.dumps(record, sort_keys=True, default=str)
+        for record in registry_records(registry)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _kv(pairs: Dict[str, object]) -> str:
+    return ";".join(f"{k}={v}" for k, v in sorted(pairs.items()))
+
+
+def to_csv(registry: MetricsRegistry) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([
+        "type", "name", "labels", "value",
+        "count", "sum", "min", "max", "mean",
+        "parent", "start", "duration",
+    ])
+    for r in registry_records(registry):
+        if r["type"] == "span":
+            writer.writerow([
+                "span", r["name"], _kv(r["payload"]), "",
+                "", "", "", "", "",
+                r["parent"] or "", f"{r['start']:.9f}",
+                f"{r['duration']:.9f}",
+            ])
+        elif r["type"] in ("histogram", "timer"):
+            writer.writerow([
+                r["type"], r["name"], _kv(r["labels"]), "",
+                r["count"], r["sum"], r["min"], r["max"], r["mean"],
+                "", "", "",
+            ])
+        else:
+            writer.writerow([
+                r["type"], r["name"], _kv(r["labels"]), r["value"],
+                "", "", "", "", "", "", "", "",
+            ])
+    return out.getvalue()
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    lines: List[str] = []
+    typed = set()
+    for kind, inst in registry.instruments():
+        name = _prom_name(inst.name)
+        labels = dict(inst.labels)
+        if isinstance(inst, HistogramInstrument):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            acc = 0
+            for bound, n in zip(inst.bounds, inst.bucket_counts):
+                acc += n
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(labels, {'le': repr(float(bound))})}"
+                    f" {acc}"
+                )
+            acc += inst.bucket_counts[-1]
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})} {acc}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {inst.sum}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {inst.count}")
+        else:
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            if name not in typed:
+                lines.append(f"# TYPE {name} {prom_kind}")
+                typed.add(name)
+            lines.append(f"{name}{_prom_labels(labels)} {inst.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str, fmt: str = "json") -> None:
+    """Render ``registry`` in ``fmt`` (``json``/``csv``/``prom``) to
+    ``path``."""
+    renderers = {"json": to_jsonl, "csv": to_csv, "prom": to_prometheus}
+    try:
+        renderer = renderers[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown metrics format {fmt!r}; known: {', '.join(renderers)}"
+        )
+    with open(path, "w") as f:
+        f.write(renderer(registry))
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Parse a JSON-lines metrics file back into export records."""
+    records: List[Dict] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON-lines metrics file ({exc})"
+                )
+    return records
+
+
+def _fmt_num(v: float) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.6g}"
+    return f"{int(v)}"
+
+
+def _fmt_seconds(v: float) -> str:
+    if v >= 1.0:
+        return f"{v:.3f}s"
+    if v >= 1e-3:
+        return f"{v * 1e3:.3f}ms"
+    return f"{v * 1e6:.1f}us"
+
+
+def render_summary(records: Iterable[Dict]) -> str:
+    """Human-readable rollup of export records (``repro stats``)."""
+    counters, gauges, dists, spans = [], [], [], []
+    for r in records:
+        t = r.get("type")
+        if t == "counter":
+            counters.append(r)
+        elif t == "gauge":
+            gauges.append(r)
+        elif t in ("histogram", "timer"):
+            dists.append(r)
+        elif t == "span":
+            spans.append(r)
+    out: List[str] = []
+
+    def name_with_labels(r: Dict) -> str:
+        labels = r.get("labels") or {}
+        if not labels:
+            return r["name"]
+        return f"{r['name']}{{{_kv(labels)}}}"
+
+    if counters:
+        out.append("counters")
+        for r in counters:
+            out.append(f"  {name_with_labels(r):<48} {_fmt_num(r['value'])}")
+    if gauges:
+        out.append("gauges")
+        for r in gauges:
+            out.append(f"  {name_with_labels(r):<48} {_fmt_num(r['value'])}")
+    if dists:
+        out.append("distributions")
+        for r in dists:
+            unit = _fmt_seconds if r["type"] == "timer" else _fmt_num
+            out.append(
+                f"  {name_with_labels(r):<48} count={r['count']}"
+                f" mean={unit(r['mean'])}"
+                f" min={unit(r['min'])} max={unit(r['max'])}"
+                f" total={unit(r['sum'])}"
+            )
+    if spans:
+        out.append("spans")
+        rollup: Dict[str, List[float]] = {}
+        order: List[str] = []
+        for r in spans:
+            if r["name"] not in rollup:
+                rollup[r["name"]] = []
+                order.append(r["name"])
+            rollup[r["name"]].append(float(r["duration"]))
+        for name in order:
+            durs = rollup[name]
+            out.append(
+                f"  {name:<48} count={len(durs)}"
+                f" total={_fmt_seconds(sum(durs))}"
+                f" mean={_fmt_seconds(sum(durs) / len(durs))}"
+            )
+    if not out:
+        return "no metrics recorded\n"
+    return "\n".join(out) + "\n"

@@ -1,0 +1,118 @@
+"""Nested wall-clock tracing spans.
+
+A span marks one phase of work::
+
+    with span("dp.nonoverlapping", budget=b) as sp:
+        ...
+        sp.annotate(cells=n_cells)
+
+On exit the span
+
+* appends a :class:`~repro.obs.registry.SpanRecord` (name, parent span
+  name, start offset relative to the registry epoch, duration, payload)
+  to the current registry, and
+* observes its duration into the timer family ``<name>.duration`` with
+  the payload's *string-valued* entries as labels dropped — timers are
+  labeled only by span name to keep cardinality bounded; rich payloads
+  live on the span record itself.
+
+Spans nest per thread: the innermost open span is the parent of any
+span opened beneath it.  When the current registry is the no-op
+:class:`~repro.obs.registry.NullRegistry`, ``span()`` yields a shared
+inert object without reading the clock — instrumented code needs no
+``if enabled`` guards of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .registry import SpanRecord, get_registry
+
+__all__ = ["span", "Span", "current_span"]
+
+_stacks = threading.local()
+
+
+def _stack():
+    stack = getattr(_stacks, "stack", None)
+    if stack is None:
+        stack = []
+        _stacks.stack = stack
+    return stack
+
+
+class Span:
+    """An open tracing span; annotate payload values as they become
+    known."""
+
+    __slots__ = ("name", "parent", "payload", "start", "duration")
+
+    def __init__(
+        self, name: str, parent: Optional[str], payload: Dict[str, object]
+    ):
+        self.name = name
+        self.parent = parent
+        self.payload = payload
+        self.start = 0.0
+        self.duration = 0.0
+
+    def annotate(self, **payload) -> "Span":
+        self.payload.update(payload)
+        return self
+
+
+class _NullSpan:
+    """The inert span handed out when instrumentation is disabled."""
+
+    __slots__ = ()
+    name = None
+    parent = None
+    payload: Dict[str, object] = {}
+    duration = 0.0
+
+    def annotate(self, **payload) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def current_span():
+    """The innermost open span on this thread (``None`` outside any)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str, **payload) -> Iterator[object]:
+    """Record one nested wall-clock phase into the current registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        yield _NULL_SPAN
+        return
+    stack = _stack()
+    parent = stack[-1].name if stack else None
+    sp = Span(name, parent, dict(payload))
+    stack.append(sp)
+    start = time.perf_counter()
+    sp.start = start - registry.epoch
+    try:
+        yield sp
+    finally:
+        sp.duration = time.perf_counter() - start
+        stack.pop()
+        registry.record_span(
+            SpanRecord(
+                name=sp.name,
+                parent=sp.parent,
+                start=sp.start,
+                duration=sp.duration,
+                payload=sp.payload,
+                thread=threading.current_thread().name,
+            )
+        )
+        registry.timer(f"{name}.duration").observe(sp.duration)

@@ -12,6 +12,7 @@ from typing import List
 
 from ..core.domain import UIDDomain
 from ..core.partition import PartitioningFunction
+from ..obs import get_registry
 from .monitor import HistogramMessage
 
 __all__ = ["Channel"]
@@ -31,12 +32,23 @@ class Channel:
     def send_histogram(self, message: HistogramMessage) -> HistogramMessage:
         """Monitor -> Control Center."""
         self.messages.append(message)
-        self.upstream_bytes += message.size_bytes(self.domain, self.counter_bits)
+        size = message.size_bytes(self.domain, self.counter_bits)
+        self.upstream_bytes += size
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("channel.upstream.bytes").inc(size)
+            registry.counter("channel.upstream.messages").inc()
+            registry.histogram("channel.message.bytes").observe(size)
         return message
 
     def send_function(self, function: PartitioningFunction) -> None:
         """Control Center -> Monitor (function install)."""
-        self.downstream_bytes += (function.size_bits() + 7) // 8
+        size = (function.size_bits() + 7) // 8
+        self.downstream_bytes += size
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("channel.downstream.bytes").inc(size)
+            registry.counter("channel.downstream.installs").inc()
 
     @property
     def total_bytes(self) -> int:

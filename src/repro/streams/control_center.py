@@ -20,6 +20,7 @@ from ..core.estimate import reconstruct_estimates
 from ..core.groups import GroupTable
 from ..core.hierarchy import PrunedHierarchy
 from ..core.partition import Histogram, PartitioningFunction
+from ..obs import get_registry, span
 from .monitor import HistogramMessage
 
 __all__ = ["ControlCenter"]
@@ -50,15 +51,31 @@ class ControlCenter:
     ) -> PartitioningFunction:
         """(Re)build the partitioning function from past per-group
         counts (typically loaded from the warehouse of Monitor logs)."""
-        hierarchy = PrunedHierarchy(
-            self.table, np.asarray(history_counts, dtype=np.float64)
-        )
-        result = build(
-            self.algorithm, hierarchy, self.metric, self.budget,
-            **self.builder_options,
-        )
-        self.function = result.function_at(self.budget)
+        with span(
+            "control.rebuild", algorithm=self.algorithm, budget=self.budget,
+        ) as sp:
+            hierarchy = PrunedHierarchy(
+                self.table, np.asarray(history_counts, dtype=np.float64)
+            )
+            result = build(
+                self.algorithm, hierarchy, self.metric, self.budget,
+                **self.builder_options,
+            )
+            self.function = result.function_at(self.budget)
+            sp.annotate(
+                buckets=self.function.num_buckets,
+                function_bits=self.function.size_bits(),
+            )
         self.function_version += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("control.rebuilds").inc()
+            registry.gauge("control.function.buckets").set(
+                self.function.num_buckets
+            )
+            registry.gauge("control.function.bits").set(
+                self.function.size_bits()
+            )
         return self.function
 
     # -- decoding ----------------------------------------------------------
@@ -80,8 +97,16 @@ class ControlCenter:
                 f"{len(stale)} histogram(s) built with a stale partitioning "
                 f"function (expected version {self.function_version})"
             )
-        merged = self.merge_histograms(messages)
-        return reconstruct_estimates(self.table, self.function, merged)
+        registry = get_registry()
+        with registry.timer("control.decode.duration").time():
+            merged = self.merge_histograms(messages)
+            estimates = reconstruct_estimates(
+                self.table, self.function, merged
+            )
+        if registry.enabled:
+            registry.counter("control.decodes").inc()
+            registry.counter("control.decode.messages").inc(len(messages))
+        return estimates
 
     def approximate_answer(
         self, messages: Sequence[HistogramMessage]

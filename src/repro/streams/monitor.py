@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.partition import Histogram, PartitioningFunction
+from ..obs import get_registry
 
 __all__ = ["HistogramMessage", "Monitor"]
 
@@ -68,9 +69,21 @@ class Monitor:
                 f"monitor {self.name!r} has no partitioning function installed"
             )
         uids = np.asarray(uids, dtype=np.int64)
-        histogram = self.function.build_histogram(uids, values=values)
+        registry = get_registry()
+        with registry.timer(
+            "monitor.partition.duration", monitor=self.name
+        ).time():
+            histogram = self.function.build_histogram(uids, values=values)
         self.windows_processed += 1
         self.tuples_processed += int(uids.size)
+        if registry.enabled:
+            registry.counter("monitor.windows", monitor=self.name).inc()
+            registry.counter("monitor.tuples", monitor=self.name).inc(
+                int(uids.size)
+            )
+            registry.histogram("monitor.window.nonzero_buckets").observe(
+                len(histogram)
+            )
         return HistogramMessage(
             monitor=self.name,
             window_index=window_index,

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.partition import Histogram
+from ..obs import get_registry
 from .system import MonitoringSystem, SystemReport, WindowReport
 from .query import exact_group_counts
 from .tuples import Trace
@@ -174,7 +175,11 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
                 window_uids.append(window.uids)
             if not messages:
                 continue
-            uids = np.concatenate(window_uids)
+            uids = (
+                np.concatenate(window_uids)
+                if window_uids
+                else np.empty(0, dtype=np.int64)
+            )
             actual = exact_group_counts(self.table, uids)
             estimates = self.control_center.decode(messages)
             error = self.control_center.error(estimates, actual)
@@ -201,11 +206,18 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
             # Drift decision from the histogram stream alone.
             rebuild = self.detector.observe(merged)
             report.drift_scores.append(self.detector.last_score)
+            registry = get_registry()
+            if registry.enabled:
+                registry.histogram("system.drift.score").observe(
+                    self.detector.last_score
+                )
             if rebuild:
                 history = np.sum(self._warehouse, axis=0)
                 self._install(history)
                 self.detector._reference = None  # re-anchor next window
                 report.rebuilds.append(w)
+                if registry.enabled:
+                    registry.counter("system.recalibrations").inc()
         report.upstream_bytes = self.channel.upstream_bytes
         report.function_bytes = self.channel.downstream_bytes
         return report

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.errors import PenaltyMetric
 from ..core.groups import GroupTable
+from ..obs import get_registry, span
 from .channel import Channel
 from .control_center import ControlCenter
 from .monitor import Monitor
@@ -62,9 +63,12 @@ class SystemReport:
 
     @property
     def compression_ratio(self) -> float:
-        """Raw-stream bytes over histogram bytes (higher is better)."""
+        """Raw-stream bytes over histogram bytes (higher is better).
+
+        ``0.0`` when nothing was sent — an idle system compressed
+        nothing, and ``0.0`` keeps downstream arithmetic finite."""
         sent = self.upstream_bytes + self.function_bytes
-        return self.raw_bytes / sent if sent else float("inf")
+        return self.raw_bytes / sent if sent else 0.0
 
 
 class MonitoringSystem:
@@ -113,41 +117,66 @@ class MonitoringSystem:
         report = SystemReport(
             function_bytes=self.channel.downstream_bytes,
         )
+        registry = get_registry()
         shares = live.split(len(self.monitors), seed=split_seed)
         windows = TumblingWindows(window_width)
         segmented = [list(windows.segment(share)) for share in shares]
         n_windows = max((len(s) for s in segmented), default=0)
-        for w in range(n_windows):
-            messages = []
-            window_uids = []
-            for monitor, segs in zip(self.monitors, segmented):
-                if w >= len(segs):
+        with span(
+            "system.run", windows=n_windows, monitors=len(self.monitors),
+        ):
+            for w in range(n_windows):
+                messages = []
+                window_uids = []
+                for monitor, segs in zip(self.monitors, segmented):
+                    if w >= len(segs):
+                        continue
+                    window = segs[w]
+                    msg = monitor.process_window(window.index, window.uids)
+                    self.channel.send_histogram(msg)
+                    messages.append(msg)
+                    window_uids.append(window.uids)
+                if not messages:
                     continue
-                window = segs[w]
-                msg = monitor.process_window(window.index, window.uids)
-                self.channel.send_histogram(msg)
-                messages.append(msg)
-                window_uids.append(window.uids)
-            if not messages:
-                continue
-            uids = np.concatenate(window_uids) if window_uids else np.empty(0)
-            actual = exact_group_counts(self.table, uids)
-            estimates = self.control_center.decode(messages)
-            error = self.control_center.error(estimates, actual)
-            hist_bytes = sum(
-                m.size_bytes(self.table.domain) for m in messages
-            )
-            raw = self.channel.raw_stream_bytes(int(uids.size))
-            report.windows.append(
-                WindowReport(
-                    window_index=w,
-                    tuples=int(uids.size),
-                    error=error,
-                    histogram_bytes=hist_bytes,
-                    raw_bytes=raw,
-                    nonzero_buckets=sum(len(m.histogram) for m in messages),
+                uids = (
+                    np.concatenate(window_uids)
+                    if window_uids
+                    else np.empty(0, dtype=np.int64)
                 )
-            )
-            report.raw_bytes += raw
+                actual = exact_group_counts(self.table, uids)
+                estimates = self.control_center.decode(messages)
+                error = self.control_center.error(estimates, actual)
+                hist_bytes = sum(
+                    m.size_bytes(self.table.domain) for m in messages
+                )
+                raw = self.channel.raw_stream_bytes(int(uids.size))
+                nonzero = sum(len(m.histogram) for m in messages)
+                report.windows.append(
+                    WindowReport(
+                        window_index=w,
+                        tuples=int(uids.size),
+                        error=error,
+                        histogram_bytes=hist_bytes,
+                        raw_bytes=raw,
+                        nonzero_buckets=nonzero,
+                    )
+                )
+                report.raw_bytes += raw
+                if registry.enabled:
+                    registry.counter("system.windows").inc()
+                    registry.counter("system.tuples").inc(int(uids.size))
+                    registry.counter("system.raw.bytes").inc(raw)
+                    registry.histogram("system.window.error").observe(error)
+                    registry.histogram("system.window.bytes").observe(
+                        hist_bytes
+                    )
+                    registry.histogram(
+                        "system.window.nonzero_buckets"
+                    ).observe(nonzero)
         report.upstream_bytes = self.channel.upstream_bytes
+        if registry.enabled:
+            registry.gauge("system.mean_error").set(report.mean_error)
+            registry.gauge("system.compression_ratio").set(
+                report.compression_ratio
+            )
         return report

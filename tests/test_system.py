@@ -87,3 +87,42 @@ def test_single_monitor_equals_exact_bucket_counts(workload):
     r1 = sys1.run(live, window_width=20.0)
     r3 = sys3.run(live, window_width=20.0)
     assert r1.windows[0].error == pytest.approx(r3.windows[0].error, rel=1e-9)
+
+
+def test_zero_tuple_window_keeps_uid_dtype(workload):
+    """Regression: a tumbling window with no tuples must decode cleanly,
+    with the merged UID array staying integer-typed (an implicit
+    ``np.empty(0)`` is float64 and breaks downstream lookups)."""
+    table, history, _live = workload
+    system = MonitoringSystem(
+        table, get_metric("rms"), num_monitors=1,
+        algorithm="lpm_greedy", budget=30,
+    )
+    system.train(history)
+    # Two bursts separated by a silent gap: the middle window is empty.
+    uids = history.uids[:40]
+    ts = np.concatenate([
+        np.linspace(0.0, 0.9, 20),     # window 0
+        np.linspace(2.0, 2.9, 20),     # window 2; window 1 is silent
+    ])
+    report = system.run(Trace(ts, uids), window_width=1.0)
+    assert len(report.windows) == 3
+    empty = report.windows[1]
+    assert empty.tuples == 0
+    assert empty.error == 0.0
+    assert np.isfinite(report.mean_error)
+
+
+class TestCompressionRatio:
+    def test_nothing_sent_is_zero(self):
+        from repro.streams.system import SystemReport
+
+        assert SystemReport().compression_ratio == 0.0
+
+    def test_ratio_when_traffic_flowed(self):
+        from repro.streams.system import SystemReport
+
+        report = SystemReport(
+            function_bytes=100, upstream_bytes=400, raw_bytes=10_000
+        )
+        assert report.compression_ratio == pytest.approx(20.0)
