@@ -18,8 +18,10 @@ time the headline construction and persist the series to
 from __future__ import annotations
 
 import functools
+import json
 import os
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -55,6 +57,26 @@ SERIES = [
     "v_optimal",
 ]
 
+#: Wall-clock construction seconds per series, keyed by metric name —
+#: filled by each *uncached* ``figure_series`` evaluation and merged
+#: into ``BENCH_construction.json`` by
+#: :func:`merge_construction_timings`.
+CONSTRUCTION_TIMINGS: Dict[str, Dict[str, float]] = {}
+
+#: Default target for the merged timings: the repo-root perf-trajectory
+#: file also written by ``benchmarks/bench_kernel.py``.
+BENCH_CONSTRUCTION_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_construction.json",
+)
+
+
+def _timed(timings: Dict[str, float], label: str, fn: Callable, *args, **kw):
+    start = time.perf_counter()
+    result = fn(*args, **kw)
+    timings[label] = round(time.perf_counter() - start, 6)
+    return result
+
 
 @functools.lru_cache(maxsize=8)
 def figure_series(metric_name: str) -> Dict[str, Dict[int, float]]:
@@ -63,20 +85,31 @@ def figure_series(metric_name: str) -> Dict[str, Dict[int, float]]:
     metric = metric_for(metric_name, wl)
     b_max = max(BUDGETS)
     out: Dict[str, Dict[int, float]] = {}
+    timings: Dict[str, float] = {}
 
-    non = build_nonoverlapping(wl.hierarchy, metric, b_max)
+    non = _timed(
+        timings, "nonoverlapping",
+        build_nonoverlapping, wl.hierarchy, metric, b_max,
+    )
     out["nonoverlapping"] = {b: non.error_at(b) for b in BUDGETS}
 
     dp = OverlappingDP(wl.hierarchy, metric, b_max)
-    over = build_overlapping(wl.hierarchy, metric, b_max)
+    over = _timed(
+        timings, "overlapping",
+        build_overlapping, wl.hierarchy, metric, b_max,
+    )
     out["overlapping"] = {b: over.error_at(b) for b in BUDGETS}
 
-    greedy = build_lpm_greedy(
-        wl.hierarchy, metric, b_max, dp=dp, curve_budgets=BUDGETS
+    greedy = _timed(
+        timings, "greedy",
+        build_lpm_greedy,
+        wl.hierarchy, metric, b_max, dp=dp, curve_budgets=BUDGETS,
     )
     out["greedy"] = {b: greedy.error_at(b) for b in BUDGETS}
 
-    quant = build_lpm_quantized(
+    quant = _timed(
+        timings, "quantized",
+        build_lpm_quantized,
         wl.hierarchy, metric, max(QUANTIZED_BUDGETS),
         theta=QUANTIZED_THETA, beam=QUANTIZED_BEAM,
         curve_budgets=QUANTIZED_BUDGETS,
@@ -85,12 +118,44 @@ def figure_series(metric_name: str) -> Dict[str, Dict[int, float]]:
         b: quant.error_at(min(b, max(QUANTIZED_BUDGETS))) for b in BUDGETS
     }
 
-    eb = build_end_biased(wl.table, wl.counts, b_max)
+    eb = _timed(
+        timings, "end_biased", build_end_biased, wl.table, wl.counts, b_max
+    )
     out["end_biased"] = {b: eb.error(metric, b) for b in BUDGETS}
 
-    vo = build_v_optimal(wl.table, wl.counts, b_max)
+    vo = _timed(
+        timings, "v_optimal", build_v_optimal, wl.table, wl.counts, b_max
+    )
     out["v_optimal"] = {b: vo.error(metric, b) for b in BUDGETS}
+    CONSTRUCTION_TIMINGS[metric_name] = timings
     return out
+
+
+def merge_construction_timings(path: Optional[str] = None) -> Optional[str]:
+    """Fold the recorded per-series build timings into
+    ``BENCH_construction.json`` (under ``"figure_series"``), preserving
+    whatever grid measurements ``bench_kernel.py`` wrote there.  No-op
+    when nothing was timed yet (every series came from the cache)."""
+    if not CONSTRUCTION_TIMINGS:
+        return None
+    path = path or BENCH_CONSTRUCTION_PATH
+    doc: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            doc = {}
+    doc.setdefault("schema", "repro.bench_construction.v1")
+    series = doc.setdefault("figure_series", {})
+    if isinstance(series, dict):
+        series.update(CONSTRUCTION_TIMINGS)
+    else:  # pragma: no cover - hand-edited file
+        doc["figure_series"] = dict(CONSTRUCTION_TIMINGS)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    return path
 
 
 def capture_profile(metric_name: str, path: str) -> str:
@@ -130,6 +195,9 @@ def report_figure(
         print(f"profile: {path}")
     else:
         series = figure_series(metric_name)
+    timings_path = merge_construction_timings()
+    if timings_path:
+        print(f"construction timings: {timings_path}")
     header = ["buckets"] + SERIES
     rows: List[List[object]] = []
     for b in BUDGETS:

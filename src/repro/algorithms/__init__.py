@@ -4,6 +4,14 @@
 from .arbitrary import ANode, ArbitraryHierarchy
 from .base import INF, ConstructionResult, DPContext, knapsack_merge
 from .construct import ALGORITHMS, available_algorithms, build
+from .kernels import (
+    KERNEL_MODES,
+    kernel_mode,
+    knapsack_merge_reference,
+    knapsack_merge_vectorized,
+    set_kernel_mode,
+    use_kernel_mode,
+)
 from .exhaustive import (
     candidate_buckets,
     exhaustive_lpm,
@@ -29,6 +37,12 @@ __all__ = [
     "ConstructionResult",
     "DPContext",
     "knapsack_merge",
+    "knapsack_merge_reference",
+    "knapsack_merge_vectorized",
+    "KERNEL_MODES",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_kernel_mode",
     "build",
     "ALGORITHMS",
     "available_algorithms",

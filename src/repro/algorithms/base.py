@@ -7,14 +7,21 @@ budget, and combine child tables by splitting the budget — a
 This module provides:
 
 * :func:`knapsack_merge` — the budget-splitting convolution with
-  argmin tracking for solution reconstruction, vectorized with numpy
-  and bounded by per-subtree bucket capacities (the classic tree-
-  knapsack bound that keeps total work near ``O(|G| b)``);
+  argmin tracking for solution reconstruction (re-exported from
+  :mod:`repro.algorithms.kernels`, which holds the broadcast kernel
+  and the naive reference it is tested against), bounded by per-subtree
+  bucket capacities (the classic tree-knapsack bound that keeps total
+  work near ``O(|G| b)``);
 * :class:`DPContext` — postorder leaf arrays over a
   :class:`~repro.core.hierarchy.PrunedHierarchy` that evaluate
   ``grperr`` (the error of estimating every group in a subtree at a
   fixed density) in one vectorized pass, including the O(1)
-  contribution of empty regions (Section 4.3);
+  contribution of empty regions (Section 4.3).  Batched evaluation
+  over many densities (:meth:`DPContext.grperr_many`) serves the
+  overlapping DP's ancestor loop, and when the active kernel mode is
+  ``"suffstats"`` the context precomputes weighted postorder prefix
+  sums of each metric-declared sufficient statistic so sum-combine
+  ``grperr`` is O(1) per call instead of O(leaves);
 * :class:`ConstructionResult` — a constructed partitioning function
   together with the full budget/error curve (one DP run yields the
   optimal error for *every* budget up to the requested one).
@@ -23,57 +30,15 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
+from .kernels import INF, kernel_mode, knapsack_merge
 
 __all__ = ["INF", "knapsack_merge", "DPContext", "ConstructionResult"]
-
-INF = float("inf")
-
-
-def knapsack_merge(
-    left: np.ndarray,
-    right: np.ndarray,
-    cap: int,
-    combine: str,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Budget-splitting merge of two child error tables.
-
-    ``left[c]`` / ``right[c]`` hold the best error of each subtree when
-    given ``c`` buckets (``inf`` = infeasible).  Returns ``(out,
-    choice)`` of length ``min(cap, len(left) + len(right) - 2) + 1``
-    where::
-
-        out[B]    = min over c of  left[c] (+ or max) right[B - c]
-        choice[B] = the minimizing c (buckets granted to the left child)
-
-    ``combine`` is ``"sum"`` for additive penalty metrics and ``"max"``
-    for max-combine metrics.
-    """
-    m, n = len(left), len(right)
-    size = min(cap, m + n - 2) + 1
-    out = np.full(size, INF)
-    choice = np.full(size, -1, dtype=np.int32)
-    maximum = combine == "max"
-    for c in range(min(m, size)):
-        lv = left[c]
-        if lv == INF:
-            continue
-        jmax = min(n - 1, size - 1 - c)
-        if jmax < 0:
-            break
-        seg = right[: jmax + 1]
-        cand = np.maximum(lv, seg) if maximum else lv + seg
-        window = out[c : c + jmax + 1]
-        better = cand < window
-        if better.any():
-            window[better] = cand[better]
-            choice[c : c + jmax + 1][better] = c
-    return out, choice
 
 
 @dataclass
@@ -124,9 +89,27 @@ class DPContext:
     group leaves contribute ``penalty(count, density)`` each, and a
     zero node summarizing ``z`` empty groups contributes
     ``penalty(0, density)`` with weight ``z``.
+
+    Parameters
+    ----------
+    hierarchy, metric:
+        The pruned hierarchy and the penalty metric to evaluate.
+    suffstats:
+        Force the sufficient-statistic fast path on (``True``) or off
+        (``False``).  The default (``None``) follows the active kernel
+        mode (:func:`repro.algorithms.kernels.kernel_mode`): only the
+        ``"suffstats"`` mode enables it.  The fast path engages only
+        for sum-combine metrics that declare a decomposition via
+        :meth:`~repro.core.errors.PenaltyMetric.suffstats`; everything
+        else keeps the exact vectorized slice path.
     """
 
-    def __init__(self, hierarchy: PrunedHierarchy, metric: PenaltyMetric) -> None:
+    def __init__(
+        self,
+        hierarchy: PrunedHierarchy,
+        metric: PenaltyMetric,
+        suffstats: Optional[bool] = None,
+    ) -> None:
         if not isinstance(metric, PenaltyMetric):
             raise TypeError(
                 "the dynamic programs run on PenaltyMetric instances; "
@@ -134,27 +117,65 @@ class DPContext:
             )
         self.hierarchy = hierarchy
         self.metric = metric
-        n = len(hierarchy.nodes)
-        # Leaf arrays in postorder; per-node contiguous slices.
-        actual: List[float] = []
-        weight: List[float] = []
-        self.leaf_lo = np.zeros(n, dtype=np.int64)
-        self.leaf_hi = np.zeros(n, dtype=np.int64)
-        for p in hierarchy.nodes:
-            if p.is_leaf:
-                self.leaf_lo[p.index] = len(actual)
-                if p.kind == "group":
-                    actual.append(p.tuples)
-                    weight.append(1.0)
-                else:  # zero summary
-                    actual.append(0.0)
-                    weight.append(float(p.n_groups))
-                self.leaf_hi[p.index] = len(actual)
-            else:
-                self.leaf_lo[p.index] = self.leaf_lo[p.left.index]
-                self.leaf_hi[p.index] = self.leaf_hi[p.right.index]
-        self.leaf_actual = np.asarray(actual, dtype=np.float64)
-        self.leaf_weight = np.asarray(weight, dtype=np.float64)
+        mode = kernel_mode()
+        #: Whether batched/vectorized evaluation is active (everything
+        #: but the ``"naive"`` reference mode).
+        self.batched = mode != "naive"
+        # Leaf arrays in postorder; per-node contiguous slices.  They
+        # depend only on the hierarchy (not the metric or kernel mode),
+        # so they are built once per hierarchy and shared by every
+        # context over it.
+        cached = getattr(hierarchy, "_dp_leaf_arrays", None)
+        if cached is None:
+            n = len(hierarchy.nodes)
+            actual: List[float] = []
+            weight: List[float] = []
+            leaf_lo = np.zeros(n, dtype=np.int64)
+            leaf_hi = np.zeros(n, dtype=np.int64)
+            for p in hierarchy.nodes:
+                if p.is_leaf:
+                    leaf_lo[p.index] = len(actual)
+                    if p.kind == "group":
+                        actual.append(p.tuples)
+                        weight.append(1.0)
+                    else:  # zero summary
+                        actual.append(0.0)
+                        weight.append(float(p.n_groups))
+                    leaf_hi[p.index] = len(actual)
+                else:
+                    leaf_lo[p.index] = leaf_lo[p.left.index]
+                    leaf_hi[p.index] = leaf_hi[p.right.index]
+            cached = (
+                leaf_lo,
+                leaf_hi,
+                np.asarray(actual, dtype=np.float64),
+                np.asarray(weight, dtype=np.float64),
+            )
+            hierarchy._dp_leaf_arrays = cached
+        self.leaf_lo, self.leaf_hi, self.leaf_actual, self.leaf_weight = cached
+        # Sufficient-statistic prefix arrays: stats_prefix[k][hi] -
+        # stats_prefix[k][lo] is the weighted sum of the k-th statistic
+        # over any postorder slice, making sum-combine grperr O(1).
+        self._stats_prefix: Optional[List[np.ndarray]] = None
+        if suffstats is None:
+            suffstats = mode == "suffstats"
+        if suffstats and metric.combine == "sum":
+            arrays = metric.suffstats(self.leaf_actual)
+            if arrays is not None:
+                self._stats_prefix = [
+                    np.concatenate(([0.0], np.cumsum(self.leaf_weight * a)))
+                    for a in arrays
+                ]
+        # Per-node own-density errors, filled lazily on the first
+        # grperr_own call in a batched mode (the nonoverlapping sweep
+        # asks for every node's value; low-memory reconstruction asks
+        # again per re-sweep, so the precompute amortizes further).
+        self._own_err: Optional[np.ndarray] = None
+
+    @property
+    def uses_suffstats(self) -> bool:
+        """Whether the O(1) sufficient-statistic path is active."""
+        return self._stats_prefix is not None
 
     def grperr(self, pnode: PNode, density: float) -> float:
         """Aggregate penalty of estimating every group below ``pnode``
@@ -162,15 +183,146 @@ class DPContext:
         lo, hi = self.leaf_lo[pnode.index], self.leaf_hi[pnode.index]
         if lo == hi:
             return 0.0
+        if self._stats_prefix is not None:
+            stats = tuple(P[hi] - P[lo] for P in self._stats_prefix)
+            return float(self.metric.penalty_from_stats(stats, density))
         pens = self.metric.penalty_array(self.leaf_actual[lo:hi], density)
         if self.metric.combine == "sum":
             return float(pens @ self.leaf_weight[lo:hi])
         return float(pens.max())
 
+    def grperr_many(
+        self, pnode: PNode, densities: Sequence[float]
+    ) -> np.ndarray:
+        """Batched :meth:`grperr` of one node at many densities.
+
+        The overlapping DP evaluates every leaf against each of its
+        O(log|U|) ancestor densities and the quantized heuristic
+        against every density cell; batching turns those per-density
+        calls into one vectorized evaluation.  Results are bit-for-bit
+        identical to repeated :meth:`grperr` calls: single-leaf slices
+        (the common case — group leaves and zero summaries are both one
+        entry) broadcast the same elementwise operations, and longer
+        slices fall back to one exact slice evaluation per density.
+        """
+        d = np.asarray(densities, dtype=np.float64)
+        lo, hi = self.leaf_lo[pnode.index], self.leaf_hi[pnode.index]
+        if lo == hi:
+            return np.zeros(d.shape)
+        if self._stats_prefix is not None:
+            stats = tuple(P[hi] - P[lo] for P in self._stats_prefix)
+            return np.asarray(
+                self.metric.penalty_from_stats(stats, d), dtype=np.float64
+            )
+        is_sum = self.metric.combine == "sum"
+        if self.batched and hi - lo == 1:
+            pens = self.metric.penalty_array(self.leaf_actual[lo:hi], d)
+            if is_sum:
+                return pens * self.leaf_weight[lo]
+            return np.asarray(pens, dtype=np.float64)
+        actual = self.leaf_actual[lo:hi]
+        weight = self.leaf_weight[lo:hi]
+        out = np.empty(d.shape)
+        for i, di in enumerate(d):
+            pens = self.metric.penalty_array(actual, float(di))
+            out[i] = pens @ weight if is_sum else pens.max()
+        return out
+
     def grperr_own(self, pnode: PNode) -> float:
         """``grperr`` at the node's own density — the error of making
-        ``pnode`` a bucket in a nonoverlapping cut."""
+        ``pnode`` a bucket in a nonoverlapping cut.
+
+        Batched modes answer from a precomputed per-node array; the
+        single-leaf entries (group leaves and zero summaries) are
+        evaluated in one vectorized pass whose per-element operations
+        match the seed's one-element slice evaluation bit for bit, and
+        longer slices run the seed expression verbatim per node.
+        """
+        if self.batched:
+            return float(self.own_errors()[pnode.index])
         return self.grperr(pnode, pnode.density)
+
+    def own_errors(self) -> np.ndarray:
+        """The per-node own-density error array (computed on first use).
+
+        Entry ``i`` equals ``grperr(nodes[i], nodes[i].density)``
+        bit for bit; the nonoverlapping fast sweep indexes this array
+        instead of calling :meth:`grperr_own` per node.
+        """
+        if self._own_err is None:
+            self._own_err = self._compute_own_errors()
+        return self._own_err
+
+    def node_densities(self) -> np.ndarray:
+        """Per-node densities in postorder (cached on the hierarchy —
+        they depend only on the window's counts, not the metric)."""
+        hierarchy = self.hierarchy
+        dens = getattr(hierarchy, "_dp_densities", None)
+        if dens is None:
+            nodes = hierarchy.nodes
+            dens = np.fromiter(
+                (p.density for p in nodes),
+                dtype=np.float64,
+                count=len(nodes),
+            )
+            hierarchy._dp_densities = dens
+        return dens
+
+    def _compute_own_errors(self) -> np.ndarray:
+        n = len(self.hierarchy.nodes)
+        dens = self.node_densities()
+        out = np.zeros(n)
+        lo, hi = self.leaf_lo, self.leaf_hi
+        if self._stats_prefix is not None:
+            nonempty = hi > lo
+            stats = tuple(P[hi] - P[lo] for P in self._stats_prefix)
+            vals = np.asarray(
+                self.metric.penalty_from_stats(stats, dens), dtype=np.float64
+            )
+            out[nonempty] = vals[nonempty]
+            return out
+        is_sum = self.metric.combine == "sum"
+        lengths = hi - lo
+        single = np.nonzero(lengths == 1)[0]
+        if single.size:
+            pens = self.metric.penalty_array(
+                self.leaf_actual[lo[single]], dens[single]
+            )
+            out[single] = (
+                pens * self.leaf_weight[lo[single]] if is_sum else pens
+            )
+        pa = self.metric.penalty_array
+        actual, weight = self.leaf_actual, self.leaf_weight
+        multi = np.nonzero(lengths > 1)[0]
+        if multi.size:
+            # Nodes whose leaf slices share a length evaluate as one
+            # stacked gather + penalty + reduction.  penalty_array is
+            # elementwise (it broadcasts a density column across the
+            # row-per-node matrix), stacked ``matmul`` performs one dot
+            # per row through the same kernel as the seed's 1-D ``@``,
+            # and ``max`` is exact under any reduction order — so every
+            # entry matches the per-node seed expression bit for bit.
+            vals = np.empty(multi.size)
+            ls = lengths[multi]
+            order = np.argsort(ls, kind="stable")
+            ls_sorted = ls[order]
+            cuts = np.nonzero(np.diff(ls_sorted))[0] + 1
+            starts = np.concatenate(([0], cuts))
+            ends = np.concatenate((cuts, [ls_sorted.size]))
+            for g0, g1 in zip(starts.tolist(), ends.tolist()):
+                rows = order[g0:g1]
+                idx = multi[rows]
+                span = int(ls_sorted[g0])
+                gather = lo[idx][:, None] + np.arange(span)
+                pens = pa(actual[gather], dens[idx][:, None])
+                if is_sum:
+                    vals[rows] = np.matmul(
+                        pens[:, None, :], weight[gather][:, :, None]
+                    ).reshape(-1)
+                else:
+                    vals[rows] = pens.max(axis=1)
+            out[multi] = vals
+        return out
 
     def finalize(self, total_penalty: float) -> float:
         """Convert an aggregate penalty at the root into the metric's
@@ -182,7 +334,18 @@ class DPContext:
         )
 
     def finalize_curve(self, penalties: np.ndarray) -> np.ndarray:
-        out = np.empty_like(penalties)
-        for i, p in enumerate(penalties):
-            out[i] = self.finalize(float(p))
+        """Vectorized :meth:`finalize` over a whole budget curve."""
+        penalties = np.asarray(penalties, dtype=np.float64)
+        if not self.batched:
+            out = np.empty_like(penalties)
+            for i, p in enumerate(penalties):
+                out[i] = self.finalize(float(p))
+            return out
+        count = float(self.hierarchy.root.n_groups)
+        out = np.full(penalties.shape, INF)
+        finite = penalties != INF
+        if finite.any():
+            out[finite] = self.metric.finalize_total_array(
+                penalties[finite], count
+            )
         return out

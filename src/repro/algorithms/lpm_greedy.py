@@ -27,7 +27,7 @@ density — a natural alternative exposed for ablation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +43,43 @@ from .overlapping import OverlappingDP
 __all__ = ["build_lpm_greedy", "bucket_approx_errors"]
 
 
+def _bucket_assignment(
+    hierarchy: PrunedHierarchy, buckets: List[Bucket]
+) -> Tuple[Dict[int, float], Dict[int, np.ndarray]]:
+    """Closest-selected-ancestor assignment of groups to bucket nodes.
+
+    Returns per-node overlapping densities and, for every bucket node
+    that owns at least one group, the (sorted) group indices assigned
+    to it.  One stable argsort over the assignment array replaces the
+    O(buckets x groups) boolean scan of a per-bucket mask: member
+    indices come out in ascending group order, exactly the order the
+    mask-based gather produced, so downstream penalty sums are
+    bit-for-bit unchanged.
+    """
+    table = hierarchy.table
+    counts = hierarchy.counts
+    node_list = sorted((b.node for b in buckets), key=UIDDomain.depth)
+    assigned = np.full(len(table), -1, dtype=np.int64)
+    density: Dict[int, float] = {}
+    for node in node_list:
+        idx = table.group_indices_below(node)
+        if idx.size:
+            assigned[idx] = node
+            density[node] = float(counts[idx].sum()) / idx.size
+        else:
+            density[node] = 0.0
+    order = np.argsort(assigned, kind="stable")
+    keys = assigned[order]
+    members: Dict[int, np.ndarray] = {}
+    lo = int(np.searchsorted(keys, -1, side="right"))
+    while lo < len(keys):
+        node = int(keys[lo])
+        hi = int(np.searchsorted(keys, node, side="right"))
+        members[node] = order[lo:hi]
+        lo = hi
+    return density, members
+
+
 def bucket_approx_errors(
     hierarchy: PrunedHierarchy,
     buckets: List[Bucket],
@@ -54,28 +91,14 @@ def bucket_approx_errors(
     selected ancestor it is, estimated at the bucket's (overlapping)
     density.  Sparse buckets score zero — they are exact.
     """
-    table = hierarchy.table
     counts = hierarchy.counts
-    domain = table.domain
-    node_list = sorted((b.node for b in buckets), key=UIDDomain.depth)
     sparse_nodes = {b.node for b in buckets if b.is_sparse}
-    assigned = np.full(len(table), -1, dtype=np.int64)
-    density: Dict[int, float] = {}
-    for node in node_list:
-        idx = table.group_indices_below(node)
-        if idx.size:
-            assigned[idx] = node
-            density[node] = float(counts[idx].sum()) / idx.size
-        else:
-            density[node] = 0.0
+    density, members = _bucket_assignment(hierarchy, buckets)
     errors: Dict[int, float] = {}
     for b in buckets:
         node = b.node
-        if node in sparse_nodes:
-            errors[node] = 0.0
-            continue
-        sel = assigned == node
-        if not sel.any():
+        sel = members.get(node)
+        if node in sparse_nodes or sel is None:
             errors[node] = 0.0
             continue
         pens = metric.penalty_array(counts[sel], density[node])
@@ -209,19 +232,9 @@ def _benefit_scores(
 ) -> Dict[int, float]:
     """Improvement each bucket brings over its enclosing bucket's
     density, under the overlapping independence assumption."""
-    table = hierarchy.table
     counts = hierarchy.counts
-    node_list = sorted((b.node for b in buckets), key=UIDDomain.depth)
-    node_set = set(node_list)
-    assigned = np.full(len(table), -1, dtype=np.int64)
-    density: Dict[int, float] = {}
-    for node in node_list:
-        idx = table.group_indices_below(node)
-        if idx.size:
-            assigned[idx] = node
-            density[node] = float(counts[idx].sum()) / idx.size
-        else:
-            density[node] = 0.0
+    node_set = {b.node for b in buckets}
+    density, members = _bucket_assignment(hierarchy, buckets)
     own = bucket_approx_errors(hierarchy, buckets, metric)
     benefits: Dict[int, float] = {}
     for b in buckets:
@@ -229,8 +242,8 @@ def _benefit_scores(
         parent = next(
             (a for a in UIDDomain.ancestors(node) if a in node_set), None
         )
-        sel = assigned == node
-        if parent is None or not sel.any():
+        sel = members.get(node)
+        if parent is None or sel is None:
             benefits[node] = 0.0
             continue
         pens = metric.penalty_array(counts[sel], density[parent])

@@ -31,7 +31,8 @@ from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, LongestPrefixMatchPartitioning
 from ..obs import span
-from .base import INF, ConstructionResult, DPContext, knapsack_merge
+from .base import INF, ConstructionResult, DPContext
+from .kernels import knapsack_merge
 
 __all__ = ["build_lpm_kholes", "split_to_k_holes"]
 

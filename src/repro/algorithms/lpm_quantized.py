@@ -232,10 +232,14 @@ class _QuantizedSolver:
             )
             g_cell = self.q.cell(float(p.n_groups))
             t_cell = self.q.cell(p.tuples)
-            for d_cell in self.d_cells:
+            # One batched grperr across every density cell instead of a
+            # slice evaluation per cell.
+            pens = self.ctx.grperr_many(
+                p, [self.q.rep(dc) for dc in self.d_cells]
+            )
+            for d_cell, pen in zip(self.d_cells, pens):
                 per_b: List[List[_Entry]] = [[] for _ in range(cap + 1)]
-                pen = self.ctx.grperr(p, self.q.rep(d_cell))
-                per_b[0].append((g_cell, t_cell, pen, ("pass", p)))
+                per_b[0].append((g_cell, t_cell, float(pen), ("pass", p)))
                 per_b[1].append(bucket_entry)
                 tables[d_cell] = per_b
             self._bucket_entries.setdefault(p.index, {})[1] = bucket_entry

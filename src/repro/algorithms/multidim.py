@@ -30,7 +30,8 @@ import numpy as np
 from ..core.domain import ROOT, UIDDomain
 from ..core.errors import DistributiveErrorMetric, PenaltyMetric
 from ..obs import span
-from .base import INF, knapsack_merge
+from .base import INF
+from .kernels import kernel_mode, knapsack_merge
 
 __all__ = ["GridGroups", "MultiDimResult", "build_nonoverlapping_nd",
            "build_overlapping_nd", "evaluate_nd"]
@@ -178,9 +179,19 @@ def _finalize_curve(
     grid: GridGroups, metric: PenaltyMetric, penalties: np.ndarray
 ) -> np.ndarray:
     total_groups = float(grid.counts.size)
-    out = np.empty_like(penalties)
-    for i, p in enumerate(penalties):
-        out[i] = INF if p == INF else metric.finalize_total(float(p), total_groups)
+    if kernel_mode() == "naive":
+        out = np.empty_like(penalties)
+        for i, p in enumerate(penalties):
+            out[i] = (
+                INF if p == INF else metric.finalize_total(float(p), total_groups)
+            )
+        return out
+    out = np.full(penalties.shape, INF)
+    finite = penalties != INF
+    if finite.any():
+        out[finite] = metric.finalize_total_array(
+            penalties[finite], total_groups
+        )
     return out
 
 

@@ -19,7 +19,7 @@ search space and the result is optimal over the full virtual hierarchy.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -27,7 +27,12 @@ from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, NonoverlappingPartitioning
 from ..obs import span
-from .base import INF, ConstructionResult, DPContext, knapsack_merge
+from .base import INF, ConstructionResult, DPContext
+from .kernels import (
+    _positive_merge,
+    _positive_merge_batch,
+    knapsack_merge,
+)
 
 __all__ = ["build_nonoverlapping"]
 
@@ -88,9 +93,7 @@ def build_nonoverlapping(
         bucket_nodes: List[int] = []
         with span("dp.nonoverlapping.collect", budget=b) as sp:
             if low_memory:
-                _collect_multipass(
-                    hierarchy.root, b, ctx, budget, bucket_nodes
-                )
+                _collect_multipass(hierarchy.root, b, ctx, bucket_nodes)
             else:
                 _collect(hierarchy.root, b, splits, bucket_nodes)
             sp.annotate(buckets=len(bucket_nodes))
@@ -113,6 +116,8 @@ def _sweep(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
     so at most O(depth) tables are live.  Split choices are retained
     only when ``keep_splits`` — dropping them is the Section 4.4 mode.
     """
+    if ctx.batched:
+        return _sweep_fast(root, ctx, budget, keep_splits)
     tables = {}
     splits: dict = {}
     stack = [(root, False)]
@@ -140,21 +145,337 @@ def _sweep(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
     return tables[root.index], splits
 
 
+def _sweep_fast(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
+    """Batched-mode sweep producing the same tables bit for bit.
+
+    Nonoverlapping tables have a fixed shape the fast path exploits:
+    entry 0 is ``inf`` (zero buckets are infeasible), entry 1 is the
+    node's own-bucket error, and every deeper in-range entry is finite.
+    Leaf tables therefore never materialize — parents read the
+    precomputed own-error array directly — a leaf-child merge is one
+    shifted vector combine, and internal merges convolve only the
+    finite table tails (:func:`~repro.algorithms.kernels._positive_merge`).
+    Entries and recorded splits match the naive sweep exactly: the
+    dropped candidates are all infinite and the surviving ones combine
+    identical scalars in the identical order.
+    """
+    own = ctx.own_errors()
+    maximum = ctx.metric.combine == "max"
+    if root.is_leaf:
+        table = np.full(2, INF)
+        table[1] = own[root.index]
+        return table, {}
+    if root is ctx.hierarchy.root:
+        # Full-tree sweeps take the phase-batched path: same-shape
+        # merges across the whole level collapse into stacked kernels.
+        return _sweep_fast_batched(ctx, budget, keep_splits)
+    tables: Dict[int, np.ndarray] = {}
+    splits: Dict[int, np.ndarray] = {}
+    # Subtree re-sweep (low-memory reconstruction): generate the
+    # subtree's postorder by reversing a node/right/left preorder.
+    order = []
+    stack = [root]
+    while stack:
+        p = stack.pop()
+        if not p.is_leaf:
+            order.append(p)
+            stack.append(p.left)
+            stack.append(p.right)
+    order.reverse()
+    for p in order:
+        node_left = p.left
+        if node_left is None:  # leaf: tables are virtual (own errors)
+            continue
+        node_right = p.right
+        left_leaf = node_left.left is None
+        right_leaf = node_right.left is None
+        if left_leaf and right_leaf:
+            size = min(budget, 2) + 1
+            table = np.empty(size)
+            table[0] = INF
+            table[1] = own[p.index]
+            if size == 3:
+                l1, r1 = own[node_left.index], own[node_right.index]
+                table[2] = max(l1, r1) if maximum else l1 + r1
+            if keep_splits:
+                split = np.empty(size, dtype=np.int32)
+                split[0] = -1
+                split[1] = -1
+                if size == 3:
+                    split[2] = 1
+                splits[p.index] = split
+            tables[p.index] = table
+            continue
+        if right_leaf or left_leaf:
+            if right_leaf:
+                inner = tables.pop(node_left.index)
+                edge = own[node_right.index]
+            else:
+                inner = tables.pop(node_right.index)
+                edge = own[node_left.index]
+            size = min(budget, len(inner)) + 1
+            table = np.empty(size)
+            table[0] = INF
+            table[1] = own[p.index]
+            seg = inner[1 : size - 1]
+            table[2:] = np.maximum(seg, edge) if maximum else seg + edge
+            if keep_splits:
+                split = np.empty(size, dtype=np.int32)
+                split[0] = -1
+                split[1] = -1
+                if right_leaf:
+                    # c buckets to the (internal) left child, one to
+                    # the leaf: choice[B] = B - 1.
+                    split[2:] = np.arange(1, size - 1, dtype=np.int32)
+                else:
+                    split[2:] = 1
+                splits[p.index] = split
+            tables[p.index] = table
+            continue
+        left = tables.pop(node_left.index)
+        right = tables.pop(node_right.index)
+        size = min(budget, len(left) + len(right) - 2) + 1
+        table = np.empty(size)
+        table[0] = INF
+        table[1] = own[p.index]
+        if size > 2:
+            vals, choice = _positive_merge(
+                left[1:], right[1:], size - 2, maximum,
+                want_choice=keep_splits,
+            )
+            table[2:] = vals
+        if keep_splits:
+            split = np.empty(size, dtype=np.int32)
+            split[0] = -1
+            split[1] = -1
+            if size > 2:
+                split[2:] = choice
+            splits[p.index] = split
+        tables[p.index] = table
+    return tables[root.index], splits
+
+
+def _structure_arrays(ctx: DPContext):
+    """Postorder structure arrays, cached on the hierarchy.
+
+    ``phase[i]`` is the subtree height of node ``i`` (0 for leaves), so
+    processing phases in ascending order is a valid bottom-up schedule
+    in which every node's children belong to strictly earlier phases;
+    ``left_idx``/``right_idx`` are child postorder indices (-1 at
+    leaves).  Pure structure — shared by every metric/budget/mode.
+    """
+    hierarchy = ctx.hierarchy
+    cached = getattr(hierarchy, "_dp_structure", None)
+    if cached is None:
+        nodes = hierarchy.nodes
+        n = len(nodes)
+        left_idx = np.full(n, -1, dtype=np.int64)
+        right_idx = np.full(n, -1, dtype=np.int64)
+        phase = np.zeros(n, dtype=np.int64)
+        ph_list = [0] * n
+        for p in nodes:
+            node_left = p.left
+            if node_left is None:
+                continue
+            i = p.index
+            li, ri = node_left.index, p.right.index
+            left_idx[i] = li
+            right_idx[i] = ri
+            pl, pr = ph_list[li], ph_list[ri]
+            ph_list[i] = (pl if pl >= pr else pr) + 1
+        phase[:] = ph_list
+        cached = (phase, left_idx, right_idx)
+        hierarchy._dp_structure = cached
+    return cached
+
+
+def _sweep_fast_batched(ctx: DPContext, budget: int, keep_splits: bool):
+    """Phase-batched full-tree sweep (tables identical to `_sweep`).
+
+    Nodes are processed level by level (by subtree height) and, within
+    a level, grouped by the shapes of their children's tables.  Each
+    group becomes one stacked operation: leaf-leaf parents are a pure
+    gather/combine over the own-error array, one-leaf merges are a
+    single broadcast combine over stacked inner tables, and
+    internal-internal merges run through
+    :func:`~repro.algorithms.kernels._positive_merge_batch`.  Every row
+    of every batch performs exactly the per-node fast path's
+    operations, which in turn match the naive sweep bit for bit; split
+    arrays for the closed-form cases are shared constants (their
+    contents don't depend on the node).
+    """
+    own = ctx.own_errors()
+    maximum = ctx.metric.combine == "max"
+    phase, left_idx, right_idx = _structure_arrays(ctx)
+    n = len(phase)
+    leaf_mask = left_idx < 0
+    tables: List[Optional[np.ndarray]] = [None] * n
+    splits: Dict[int, np.ndarray] = {}
+    # Table lengths evolve bottom-up by the same formula the per-node
+    # sweep applies; leaves count as (virtual) 2-entry tables.
+    tlen = np.where(leaf_mask, 2, 0)
+    internal = np.nonzero(~leaf_mask)[0]
+    order = internal[np.argsort(phase[internal], kind="stable")]
+    ph_sorted = phase[order]
+    # Shared constant split arrays, one per (case, size).
+    shared_splits: Dict[tuple, np.ndarray] = {}
+
+    def _const_split(case: str, size: int) -> np.ndarray:
+        key = (case, size)
+        sp = shared_splits.get(key)
+        if sp is None:
+            sp = np.empty(size, dtype=np.int32)
+            sp[0] = -1
+            sp[1] = -1
+            if size > 2:
+                if case == "rl":  # right child is the leaf
+                    sp[2:] = np.arange(1, size - 1, dtype=np.int32)
+                else:  # "lr": left child is the leaf, or leaf-leaf
+                    sp[2:] = 1
+            shared_splits[key] = sp
+        return sp
+
+    pos = 0
+    total = order.size
+    while pos < total:
+        h = ph_sorted[pos]
+        end = pos + np.searchsorted(ph_sorted[pos:], h, side="right")
+        idx_h = order[pos:end]
+        pos = end
+        li = left_idx[idx_h]
+        ri = right_idx[idx_h]
+        sizes = np.minimum(budget, tlen[li] + tlen[ri] - 2) + 1
+        tlen[idx_h] = sizes
+        lleaf = leaf_mask[li]
+        rleaf = leaf_mask[ri]
+
+        # Leaf-leaf parents: closed form over the own-error array.
+        both = lleaf & rleaf
+        if both.any():
+            g = idx_h[both]
+            size = min(budget, 2) + 1
+            block = np.empty((g.size, size))
+            block[:, 0] = INF
+            block[:, 1] = own[g]
+            if size == 3:
+                lv = own[li[both]]
+                rv = own[ri[both]]
+                block[:, 2] = np.maximum(lv, rv) if maximum else lv + rv
+            sp = _const_split("lr", size) if keep_splits else None
+            for k, i in enumerate(g.tolist()):
+                tables[i] = block[k]
+                if keep_splits:
+                    splits[i] = sp
+
+        # One-leaf merges, grouped by inner-table length and side.
+        one = lleaf ^ rleaf
+        if one.any():
+            g = idx_h[one]
+            gl = li[one]
+            gr = ri[one]
+            r_is_leaf = rleaf[one]
+            inner_idx = np.where(r_is_leaf, gl, gr)
+            edge_idx = np.where(r_is_leaf, gr, gl)
+            key = tlen[inner_idx] * 2 + r_is_leaf
+            for u in np.unique(key).tolist():
+                sel = key == u
+                gi = g[sel]
+                ginner = inner_idx[sel]
+                inner_len = int(u // 2)
+                right_leaf = bool(u & 1)
+                size = min(budget, inner_len) + 1
+                K = gi.size
+                buf = np.empty((K, inner_len))
+                for k, ii in enumerate(ginner.tolist()):
+                    buf[k] = tables[ii]
+                    tables[ii] = None
+                edge = own[edge_idx[sel]]
+                block = np.empty((K, size))
+                block[:, 0] = INF
+                block[:, 1] = own[gi]
+                if size > 2:
+                    seg = buf[:, 1 : size - 1]
+                    e = edge[:, None]
+                    block[:, 2:] = (
+                        np.maximum(seg, e) if maximum else seg + e
+                    )
+                sp = (
+                    _const_split("rl" if right_leaf else "lr", size)
+                    if keep_splits
+                    else None
+                )
+                for k, i in enumerate(gi.tolist()):
+                    tables[i] = block[k]
+                    if keep_splits:
+                        splits[i] = sp
+
+        # Internal-internal merges, grouped by child-table shapes.
+        both_int = ~(lleaf | rleaf)
+        if both_int.any():
+            g = idx_h[both_int]
+            gl = li[both_int]
+            gr = ri[both_int]
+            key = tlen[gl] * (2 * budget + 4) + tlen[gr]
+            for u in np.unique(key).tolist():
+                sel = key == u
+                gi = g[sel]
+                m = int(u // (2 * budget + 4))
+                nn = int(u % (2 * budget + 4))
+                size = min(budget, m + nn - 2) + 1
+                K = gi.size
+                bl = np.empty((K, m - 1))
+                br = np.empty((K, nn - 1))
+                for k, ii in enumerate(gl[sel].tolist()):
+                    bl[k] = tables[ii][1:]
+                    tables[ii] = None
+                for k, ii in enumerate(gr[sel].tolist()):
+                    br[k] = tables[ii][1:]
+                    tables[ii] = None
+                block = np.empty((K, size))
+                block[:, 0] = INF
+                block[:, 1] = own[gi]
+                if size > 2:
+                    vals, choice = _positive_merge_batch(
+                        bl, br, size - 2, maximum, want_choice=keep_splits
+                    )
+                    block[:, 2:] = vals
+                if keep_splits:
+                    spblock = np.empty((K, size), dtype=np.int32)
+                    spblock[:, 0] = -1
+                    spblock[:, 1] = -1
+                    if size > 2:
+                        spblock[:, 2:] = choice
+                for k, i in enumerate(gi.tolist()):
+                    tables[i] = block[k]
+                    if keep_splits:
+                        splits[i] = spblock[k]
+    root_index = ctx.hierarchy.root.index
+    return tables[root_index], splits
+
+
 def _collect_multipass(
-    p: PNode, b: int, ctx: DPContext, budget: int, out: List[int]
+    p: PNode, b: int, ctx: DPContext, out: List[int]
 ) -> None:
     """Section 4.4 reconstruction: re-derive the split at each node by
-    re-running the DP on its two subtrees, then recurse."""
+    re-running the DP on its two subtrees, then recurse.
+
+    Each subtree is re-swept with the budget ``b`` actually granted to
+    it, not the original top-level budget: table entries up to ``b``
+    are unaffected by the tighter cap (an allocation of ``c <= B <= b``
+    buckets never consults entries beyond ``b``), so the recovered
+    splits are identical while the low-memory reconstruction stops
+    filling table columns no caller can reference.
+    """
     stack = [(p, b)]
     while stack:
         p, b = stack.pop()
         if p.is_leaf or b == 1:
             out.append(p.node)
             continue
-        left_table, _ = _sweep(p.left, ctx, budget, keep_splits=False)
-        right_table, _ = _sweep(p.right, ctx, budget, keep_splits=False)
+        left_table, _ = _sweep(p.left, ctx, b, keep_splits=False)
+        right_table, _ = _sweep(p.right, ctx, b, keep_splits=False)
         merged, split = knapsack_merge(
-            left_table, right_table, budget, ctx.metric.combine
+            left_table, right_table, b, ctx.metric.combine
         )
         b = min(b, len(merged) - 1)
         if b == 1:  # only the single-bucket option remains
@@ -168,7 +489,7 @@ def _collect_multipass(
 def _collect(
     p: PNode,
     b: int,
-    splits: List[Optional[np.ndarray]],
+    splits: Dict[int, np.ndarray],
     out: List[int],
 ) -> None:
     """Walk the recorded split choices to materialize the cut for

@@ -36,7 +36,8 @@ from ..core.errors import PenaltyMetric
 from ..core.hierarchy import PNode, PrunedHierarchy
 from ..core.partition import Bucket, OverlappingPartitioning
 from ..obs import span
-from .base import INF, ConstructionResult, DPContext, knapsack_merge
+from .base import INF, ConstructionResult, DPContext
+from .kernels import knapsack_merge, knapsack_merge_batch
 
 __all__ = ["build_overlapping", "OverlappingDP"]
 
@@ -58,6 +59,11 @@ class _NodeRecord:
     # Per enclosing ancestor j (by pruned-node index):
     flags: Optional[Dict[int, np.ndarray]] = None
     splits_nb: Optional[Dict[int, np.ndarray]] = None
+    # Batched-mode equivalents: row i of each block is the table for
+    # the ancestor at depth i (ancestors are root-first, so an
+    # ancestor's depth is its row).
+    flags_block: Optional[np.ndarray] = None
+    splits_block: Optional[np.ndarray] = None
 
 
 class OverlappingDP:
@@ -90,11 +96,19 @@ class OverlappingDP:
         # consumed them (the paper's Section 4.4 space optimization —
         # reconstruction uses the retained choice arrays instead).
         self._tables: Dict[int, Dict[int, np.ndarray]] = {}
+        # Ancestor state maintained along the recursion: entry d holds
+        # the pruned index / density of the ancestor at depth d, so the
+        # first ``depth`` entries are the current node's strict
+        # ancestors root-first (no per-node list rebuilding).
+        n_nodes = len(hierarchy.nodes)
+        self._anc_idx = np.empty(n_nodes + 1, dtype=np.int64)
+        self._anc_dens = np.empty(n_nodes + 1, dtype=np.float64)
+        self._depths = np.zeros(n_nodes, dtype=np.int64)
         with span(
             "dp.overlapping.solve", budget=budget,
             nodes=len(hierarchy.nodes), sparse=sparse,
         ) as sp:
-            root_bucket_table = self._solve(hierarchy.root, [])
+            root_bucket_table = self._solve(hierarchy.root, 0)
             sp.annotate(
                 sparse_collapses=sum(
                     1 for r in self.records if r.sparse_at is not None
@@ -123,17 +137,18 @@ class OverlappingDP:
         return p if p.kind == "group" else None
 
     # ------------------------------------------------------------------
-    def _solve(
-        self, p: PNode, ancestors: List[Tuple[int, float]]
-    ) -> np.ndarray:
+    def _solve(self, p: PNode, depth: int) -> np.ndarray:
         """Fill this subtree's tables.
 
-        ``ancestors`` lists ``(pruned index, density)`` of every strict
-        ancestor, root-first.  Returns the node's *bucket-case* table
-        (used directly at the root); the per-ancestor full tables are
-        handed to the caller via ``_tables`` on the record.
+        ``depth`` is the number of strict ancestors; their pruned
+        indices / densities are the first ``depth`` entries of
+        ``self._anc_idx`` / ``self._anc_dens`` (root-first).  Returns
+        the node's *bucket-case* table (used directly at the root); the
+        per-ancestor full tables are handed to the caller via
+        ``_tables`` on the record.
         """
         rec = self.records[p.index]
+        self._depths[p.index] = depth
         cap = int(self._caps[p.index])
         collapse = (not p.is_leaf) and self.sparse and p.n_nonzero <= 1
 
@@ -149,11 +164,37 @@ class OverlappingDP:
                 if leaf is not None:
                     rec.sparse_at = leaf.node
                     rec.bucket_flag[1] = _SPARSE
+            # One batched grperr over every ancestor density replaces
+            # the per-ancestor slice evaluations — the O(log|U|) inner
+            # loop of the overlapping DP's base case.
+            anc_pens = (
+                self.ctx.grperr_many(p, self._anc_dens[:depth])
+                if depth
+                else ()
+            )
+            if self.ctx.batched:
+                # Batched layout: tables for all ancestors live in one
+                # (J, cap + 1) block, row i conditioned on the ancestor
+                # at depth i; reconstruction indexes rows by ancestor
+                # depth.  Entries match the per-ancestor loop below
+                # exactly: e[0] = pen, e[1] = e_b[1].
+                e2 = np.empty((depth, cap + 1))
+                flags2 = np.zeros(e2.shape, dtype=np.int8)
+                if depth:
+                    if cap > 1:
+                        e2[:, 2:] = INF
+                    e2[:, 0] = anc_pens
+                    e2[:, 1] = e_b[1]
+                    flags2[:, 1] = rec.bucket_flag[1]
+                rec.flags_block = flags2
+                self._tables[p.index] = e2
+                return e_b
             tables = {}
             rec.flags = {}
-            for j_idx, dens in ancestors:
+            for i, pen in enumerate(anc_pens):
+                j_idx = int(self._anc_idx[i])
                 e = np.full(cap + 1, INF)
-                e[0] = self.ctx.grperr(p, dens)
+                e[0] = pen
                 e[1] = min(e[1], e_b[1])
                 tables[j_idx] = e
                 flags = np.full(cap + 1, _NOT_BUCKET, dtype=np.int8)
@@ -162,29 +203,64 @@ class OverlappingDP:
             self._tables[p.index] = tables
             return e_b
 
-        child_anc = ancestors + [(p.index, p.density)]
-        self._solve(p.left, child_anc)
-        self._solve(p.right, child_anc)
+        self._anc_idx[depth] = p.index
+        self._anc_dens[depth] = p.density
+        self._solve(p.left, depth + 1)
+        self._solve(p.right, depth + 1)
         left_tabs = self._tables[p.left.index]
         right_tabs = self._tables[p.right.index]
+        J = depth
+        batched = self.ctx.batched
+        # In batched mode the child tables are (J + 1, width) blocks:
+        # rows [0, J) are conditioned on this node's ancestors and row
+        # J on this node itself.
+        if batched:
+            left_self, right_self = left_tabs[J], right_tabs[J]
+        else:
+            left_self, right_self = left_tabs[p.index], right_tabs[p.index]
 
         # Bucket case: one bucket on p, the rest split among children
         # which now see p as their closest selected ancestor.
         merged, split = knapsack_merge(
-            left_tabs[p.index], right_tabs[p.index], cap - 1,
-            self.metric.combine,
+            left_self, right_self, cap - 1, self.metric.combine
         )
-        e_b = np.full(min(cap, len(merged)) + 1, INF)
-        upto = min(len(e_b) - 1, len(merged))
-        e_b[1 : upto + 1] = merged[: upto]
+        # size - 1 <= len(merged), so every entry past 0 comes from the
+        # merge — no inf prefill needed beyond entry 0.
+        size_b = min(cap, len(merged)) + 1
+        e_b = np.empty(size_b)
+        e_b[0] = INF
+        e_b[1:] = merged[: size_b - 1]
         rec.split_b = split
-        rec.bucket_flag = np.full(len(e_b), _BUCKET, dtype=np.int8)
+        rec.bucket_flag = np.full(size_b, _BUCKET, dtype=np.int8)
 
         # Non-bucket case per enclosing ancestor.
+        if batched:
+            # One stacked merge replaces the per-ancestor loop below.
+            # Each row of the batch is the same merge the loop would
+            # run, and the bucket-case overlay applies the identical
+            # strict-improvement comparison — results are bit-for-bit
+            # unchanged.
+            merged2, split2 = knapsack_merge_batch(
+                left_tabs[:J], right_tabs[:J], cap, self.metric.combine
+            )
+            size = min(cap, merged2.shape[1] - 1) + 1
+            e2 = merged2[:, :size]
+            flags2 = np.zeros(e2.shape, dtype=np.int8)
+            lim = min(size, size_b)
+            better2 = e_b[:lim] < e2[:, :lim]
+            np.copyto(e2[:, :lim], e_b[:lim], where=better2)
+            np.copyto(flags2[:, :lim], rec.bucket_flag[:lim], where=better2)
+            rec.flags_block = flags2
+            rec.splits_block = split2
+            self._tables[p.index] = e2
+            del self._tables[p.left.index]
+            del self._tables[p.right.index]
+            return e_b
         rec.flags = {}
         rec.splits_nb = {}
         tables = {}
-        for j_idx, dens in ancestors:
+        for i in range(depth):
+            j_idx = int(self._anc_idx[i])
             merged_nb, split_nb = knapsack_merge(
                 left_tabs[j_idx], right_tabs[j_idx], cap,
                 self.metric.combine,
@@ -239,13 +315,21 @@ class OverlappingDP:
         if b <= 0:
             return
         rec = self.records[p.index]
-        flags = rec.flags[j_idx]
+        if rec.flags_block is not None:
+            # Batched mode: the ancestor's depth is its row in the
+            # blocks (ancestors are stacked root-first).
+            row = int(self._depths[j_idx])
+            flags = rec.flags_block[row]
+        else:
+            flags = rec.flags[j_idx]
         b = min(b, len(flags) - 1)
         if flags[b] != _NOT_BUCKET:
             self._collect_bucket(p, b, out)
             return
-        split_nb = rec.splits_nb[j_idx]
-        c = int(split_nb[b])
+        if rec.flags_block is not None:
+            c = int(rec.splits_block[row][b])
+        else:
+            c = int(rec.splits_nb[j_idx][b])
         self._collect(p.left, c, j_idx, out)
         self._collect(p.right, b - c, j_idx, out)
 

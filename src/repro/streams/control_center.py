@@ -6,10 +6,21 @@ to (re)build the partitioning function it pushes to the Monitors; for
 each incoming window it merges the Monitors' histograms (count
 histograms merge by bucket-wise addition) and joins the result with the
 key density table to produce the approximate group-by answer.
+
+Rebuilds are memoized: the history counts plus the construction
+configuration are fingerprinted, and a small LRU of recently built
+partitioning functions answers repeat requests without re-running the
+dynamic programs.  Recalibration loops frequently ask for the same
+window of warehouse history (drift detectors can fire repeatedly while
+traffic is stable), so identical rebuilds are pure waste; a cache hit
+still installs the function and bumps the version, exactly as a fresh
+build would.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -35,8 +46,11 @@ class ControlCenter:
         metric: PenaltyMetric,
         algorithm: str = "lpm_greedy",
         budget: int = 100,
+        cache_size: int = 8,
         **builder_options,
     ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
         self.table = table
         self.metric = metric
         self.algorithm = algorithm
@@ -44,19 +58,64 @@ class ControlCenter:
         self.builder_options = builder_options
         self.function: Optional[PartitioningFunction] = None
         self.function_version = -1
+        #: Max memoized partitioning functions (0 disables the cache).
+        self.cache_size = cache_size
+        self._function_cache: OrderedDict[bytes, PartitioningFunction] = (
+            OrderedDict()
+        )
 
     # -- function construction -------------------------------------------
+    def _fingerprint(self, counts: np.ndarray) -> bytes:
+        """Cache key for a rebuild: the exact history counts plus every
+        configuration knob that influences construction."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(counts.tobytes())
+        config = (
+            self.algorithm,
+            self.budget,
+            repr(self.metric),
+            sorted(self.builder_options.items()),
+        )
+        digest.update(repr(config).encode("utf-8"))
+        return digest.digest()
+
     def rebuild_function(
         self, history_counts: Sequence[float]
     ) -> PartitioningFunction:
         """(Re)build the partitioning function from past per-group
-        counts (typically loaded from the warehouse of Monitor logs)."""
+        counts (typically loaded from the warehouse of Monitor logs).
+
+        Identical requests (same counts, same configuration) are served
+        from the LRU cache without re-running construction; hits and
+        misses are counted in the metrics registry.  The function
+        version advances either way — Monitors must still reinstall,
+        because a version only certifies which function a histogram was
+        built against, not how the Control Center obtained it.
+        """
+        counts = np.asarray(history_counts, dtype=np.float64)
+        registry = get_registry()
+        key: Optional[bytes] = None
+        if self.cache_size > 0:
+            key = self._fingerprint(counts)
+            cached = self._function_cache.get(key)
+            if cached is not None:
+                self._function_cache.move_to_end(key)
+                self.function = cached
+                self.function_version += 1
+                if registry.enabled:
+                    registry.counter("control.rebuilds").inc()
+                    registry.counter("control.rebuild.cache.hits").inc()
+                    registry.gauge("control.function.buckets").set(
+                        cached.num_buckets
+                    )
+                    registry.gauge("control.function.bits").set(
+                        cached.size_bits()
+                    )
+                return cached
         with span(
             "control.rebuild", algorithm=self.algorithm, budget=self.budget,
         ) as sp:
-            hierarchy = PrunedHierarchy(
-                self.table, np.asarray(history_counts, dtype=np.float64)
-            )
+            hierarchy = PrunedHierarchy(self.table, counts)
             result = build(
                 self.algorithm, hierarchy, self.metric, self.budget,
                 **self.builder_options,
@@ -67,9 +126,14 @@ class ControlCenter:
                 function_bits=self.function.size_bits(),
             )
         self.function_version += 1
-        registry = get_registry()
+        if key is not None:
+            self._function_cache[key] = self.function
+            while len(self._function_cache) > self.cache_size:
+                self._function_cache.popitem(last=False)
         if registry.enabled:
             registry.counter("control.rebuilds").inc()
+            if key is not None:
+                registry.counter("control.rebuild.cache.misses").inc()
             registry.gauge("control.function.buckets").set(
                 self.function.num_buckets
             )

@@ -20,6 +20,11 @@ natural design:
 Rebuilds cost downstream bandwidth (the new function must be installed
 on every Monitor), which the channel accounts for as usual — the bench
 harness measures the drift/accuracy/bandwidth triangle this creates.
+Construction cost, by contrast, is often avoidable: a jittery detector
+can fire while the warehouse still holds the same recent windows, and
+the Control Center's rebuild cache (see
+:mod:`repro.streams.control_center`) then reinstalls the memoized
+function instead of re-running the dynamic programs.
 """
 
 from __future__ import annotations

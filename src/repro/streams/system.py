@@ -81,6 +81,7 @@ class MonitoringSystem:
         num_monitors: int = 4,
         algorithm: str = "lpm_greedy",
         budget: int = 100,
+        cache_size: int = 8,
         **builder_options,
     ) -> None:
         if num_monitors < 1:
@@ -89,7 +90,7 @@ class MonitoringSystem:
         self.metric = metric
         self.control_center = ControlCenter(
             table, metric, algorithm=algorithm, budget=budget,
-            **builder_options,
+            cache_size=cache_size, **builder_options,
         )
         self.monitors = [Monitor(f"monitor-{i}") for i in range(num_monitors)]
         self.channel = Channel(table.domain)

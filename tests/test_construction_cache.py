@@ -1,0 +1,133 @@
+"""The Control Center's rebuild cache: identical windows of history
+must not re-run construction, and caching must be invisible to results
+(same functions, same WindowReports, same version discipline)."""
+
+import numpy as np
+import pytest
+
+from repro import UIDDomain, get_metric
+from repro.data import TrafficModel, generate_subnet_table
+from repro.data.traffic import generate_timestamped_trace
+from repro.obs import MetricsRegistry, use_registry
+from repro.streams import ControlCenter, MonitoringSystem, Trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dom = UIDDomain(9)
+    table = generate_subnet_table(dom, seed=5)
+    ts, uids = generate_timestamped_trace(
+        table, 6000, duration=30.0, seed=6,
+        model=TrafficModel(active_fraction=0.2, zipf_exponent=1.2),
+    )
+    trace = Trace(ts, uids)
+    return table, trace.slice_time(0, 15), trace.slice_time(15, 30)
+
+
+def _counts(table, rng, scale=20):
+    return rng.integers(0, scale, len(table)).astype(float)
+
+
+def test_repeat_rebuild_hits_cache_and_bumps_version(workload):
+    table, _history, _live = workload
+    center = ControlCenter(table, get_metric("rms"), budget=20)
+    rng = np.random.default_rng(0)
+    counts = _counts(table, rng)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        first = center.rebuild_function(counts)
+        v1 = center.function_version
+        second = center.rebuild_function(counts)
+        v2 = center.function_version
+    assert second is first  # memoized, not rebuilt
+    assert v2 == v1 + 1  # but the version still advances
+    assert registry.counter("control.rebuild.cache.misses").value == 1
+    assert registry.counter("control.rebuild.cache.hits").value == 1
+    assert registry.counter("control.rebuilds").value == 2
+
+
+def test_different_counts_miss(workload):
+    table, _history, _live = workload
+    center = ControlCenter(table, get_metric("rms"), budget=20)
+    rng = np.random.default_rng(1)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        a = center.rebuild_function(_counts(table, rng))
+        b = center.rebuild_function(_counts(table, rng))
+    assert a is not b
+    assert registry.counter("control.rebuild.cache.misses").value == 2
+    assert registry.counter("control.rebuild.cache.hits").value == 0
+
+
+def test_cache_disabled_never_memoizes(workload):
+    table, _history, _live = workload
+    center = ControlCenter(table, get_metric("rms"), budget=20, cache_size=0)
+    rng = np.random.default_rng(2)
+    counts = _counts(table, rng)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        first = center.rebuild_function(counts)
+        second = center.rebuild_function(counts)
+    assert first is not second
+    assert len(center._function_cache) == 0
+    assert registry.counter("control.rebuild.cache.hits").value == 0
+    assert registry.counter("control.rebuild.cache.misses").value == 0
+
+
+def test_lru_eviction_bounds_cache(workload):
+    table, _history, _live = workload
+    center = ControlCenter(table, get_metric("rms"), budget=20, cache_size=2)
+    rng = np.random.default_rng(3)
+    batches = [_counts(table, rng) for _ in range(4)]
+    for counts in batches:
+        center.rebuild_function(counts)
+    assert len(center._function_cache) == 2
+    # Oldest entries were evicted: rebuilding the first batch misses.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        center.rebuild_function(batches[0])
+    assert registry.counter("control.rebuild.cache.misses").value == 1
+
+
+def test_negative_cache_size_rejected(workload):
+    table, _history, _live = workload
+    with pytest.raises(ValueError):
+        ControlCenter(table, get_metric("rms"), cache_size=-1)
+
+
+@pytest.mark.parametrize("algorithm", ["nonoverlapping", "lpm_greedy"])
+def test_cached_and_uncached_runs_identical(workload, algorithm):
+    """End to end: a system with the cache on reports exactly what a
+    cache-free system reports."""
+    table, history, live = workload
+    reports = {}
+    for cache_size in (8, 0):
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm=algorithm, budget=25, cache_size=cache_size,
+        )
+        system.train(history)
+        reports[cache_size] = system.run(live, window_width=5.0)
+    cached, uncached = reports[8], reports[0]
+    assert cached.windows == uncached.windows
+    assert cached.function_bytes == uncached.function_bytes
+    assert cached.upstream_bytes == uncached.upstream_bytes
+
+
+def test_retrain_same_history_is_memoized(workload):
+    """Training twice on the same history reinstalls the memoized
+    function — monitors still get a fresh version each time."""
+    table, history, _live = workload
+    system = MonitoringSystem(
+        table, get_metric("rms"), num_monitors=2,
+        algorithm="nonoverlapping", budget=25,
+    )
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        system.train(history)
+        version_after_first = system.control_center.function_version
+        system.train(history)
+    assert registry.counter("control.rebuild.cache.hits").value == 1
+    assert system.control_center.function_version == version_after_first + 1
+    for monitor in system.monitors:
+        assert monitor.function_version == version_after_first + 1
