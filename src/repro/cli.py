@@ -16,7 +16,8 @@ Subcommands::
     python -m repro evaluate  work.npz fn.bin
     python -m repro inspect   fn.bin
     python -m repro simulate  --height 14 --algorithm overlapping \\
-                              --budget 60 --monitors 4
+                              --budget 60 --monitors 4 \\
+                              --faults drop=0.1,dup=0.05,seed=7
     python -m repro stats     run.jsonl
 
 Every subcommand accepts ``--metrics PATH`` (and ``--metrics-format
@@ -59,7 +60,7 @@ from .obs import (
     use_registry,
     write_metrics,
 )
-from .streams import MonitoringSystem, Trace
+from .streams import STALE_POLICIES, FaultModel, MonitoringSystem, Trace
 
 __all__ = ["main"]
 
@@ -167,9 +168,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     trace = Trace(ts, uids)
     half = args.duration / 2
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultModel.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: --faults: {exc}", file=sys.stderr)
+            return 2
     system = MonitoringSystem(
         table, get_metric(args.metric), num_monitors=args.monitors,
         algorithm=args.algorithm, budget=args.budget,
+        stale_policy=args.stale_policy, faults=faults,
     )
     system.train(trace.slice_time(0, half))
     report = system.run(
@@ -182,6 +191,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"function bytes    : {report.function_bytes}")
     print(f"raw-stream bytes  : {report.raw_bytes}")
     print(f"compression ratio : {report.compression_ratio:.1f}x")
+    if faults is not None:
+        reporting = [w.monitors_reporting for w in report.windows]
+        print(f"monitors reporting: min {min(reporting, default=0)} / "
+              f"mean {float(np.mean(reporting)) if reporting else 0.0:.2f} "
+              f"of {args.monitors}")
+        print("duplicates dropped: "
+              f"{sum(w.duplicates_dropped for w in report.windows)}")
+        print("stale messages    : "
+              f"{sum(w.stale_messages for w in report.windows)}")
+        print("late messages     : "
+              f"{sum(w.late_messages for w in report.windows)}")
+        print(f"monitor crashes   : {report.monitor_crashes}")
+        print(f"expired in flight : {report.expired_messages}")
     return 0
 
 
@@ -263,6 +285,15 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--metric", default="rms",
                    choices=sorted(available_metrics()))
     s.add_argument("--budget", type=int, default=80)
+    s.add_argument("--faults", metavar="SPEC", default=None,
+                   help="inject channel faults, e.g. "
+                   "'drop=0.1,dup=0.05,delay=0.1,crash=0.01,seed=7' "
+                   "(keys: drop, dup, reorder, delay, max_delay, crash, "
+                   "install_drop, seed)")
+    s.add_argument("--stale-policy", choices=STALE_POLICIES,
+                   default="strict",
+                   help="how decode treats stale-version histograms "
+                   "(default strict)")
     s.set_defaults(func=_cmd_simulate)
 
     st = sub.add_parser("stats",

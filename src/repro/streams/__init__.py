@@ -7,8 +7,9 @@ from .tuples import Trace
 from .windows import SlidingWindows, TumblingWindows, Window
 from .query import exact_group_counts, GroupedAggregationQuery
 from .monitor import HistogramMessage, Monitor
+from .faults import Delivery, FaultModel, InstallScheduler
 from .channel import Channel
-from .control_center import ControlCenter
+from .control_center import ControlCenter, DecodedWindow, STALE_POLICIES
 from .system import MonitoringSystem, SystemReport, WindowReport
 from .recalibrate import AdaptiveMonitoringSystem, BucketDriftDetector
 from .panes import PaneAggregator
@@ -22,8 +23,13 @@ __all__ = [
     "GroupedAggregationQuery",
     "Monitor",
     "HistogramMessage",
+    "Delivery",
+    "FaultModel",
+    "InstallScheduler",
     "Channel",
     "ControlCenter",
+    "DecodedWindow",
+    "STALE_POLICIES",
     "MonitoringSystem",
     "SystemReport",
     "WindowReport",

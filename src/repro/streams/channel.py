@@ -4,15 +4,23 @@ The whole point of the paper is reducing what flows over this link, so
 the simulated channel does byte accounting for every message: histogram
 updates upstream, partitioning-function installs downstream, and the
 raw-stream baseline (shipping every identifier) for comparison.
+
+The link is not assumed perfect: an optional :class:`~.faults.FaultModel`
+is applied to both directions.  Byte accounting is *per wire
+transmission* — a dropped histogram still cost its bytes, a duplicated
+one cost them twice, and every install retransmission is charged again
+— so ``compression_ratio`` always reflects real link cost, not just
+what happened to arrive.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..core.domain import UIDDomain
 from ..core.partition import PartitioningFunction
 from ..obs import get_registry
+from .faults import Delivery, FaultModel
 from .monitor import HistogramMessage
 
 __all__ = ["Channel"]
@@ -20,35 +28,79 @@ __all__ = ["Channel"]
 
 class Channel:
     """Byte-accounting transport between Monitors and the Control
-    Center."""
+    Center, optionally lossy in both directions."""
 
-    def __init__(self, domain: UIDDomain, counter_bits: int = 32) -> None:
+    def __init__(
+        self,
+        domain: UIDDomain,
+        counter_bits: int = 32,
+        faults: Optional[FaultModel] = None,
+    ) -> None:
         self.domain = domain
         self.counter_bits = counter_bits
+        self.faults = faults
+        #: Every wire transmission, delivered or not.
         self.messages: List[HistogramMessage] = []
+        #: Every surviving upstream copy (what the Control Center sees).
+        self.delivered: List[Delivery] = []
         self.upstream_bytes = 0
         self.downstream_bytes = 0
 
-    def send_histogram(self, message: HistogramMessage) -> HistogramMessage:
-        """Monitor -> Control Center."""
-        self.messages.append(message)
-        size = message.size_bytes(self.domain, self.counter_bits)
-        self.upstream_bytes += size
-        registry = get_registry()
-        if registry.enabled:
-            registry.counter("channel.upstream.bytes").inc(size)
-            registry.counter("channel.upstream.messages").inc()
-            registry.histogram("channel.message.bytes").observe(size)
-        return message
+    def send_histogram(self, message: HistogramMessage) -> List[Delivery]:
+        """Monitor -> Control Center.
 
-    def send_function(self, function: PartitioningFunction) -> None:
-        """Control Center -> Monitor (function install)."""
+        Returns the copies that survive the link (empty when dropped;
+        two entries when duplicated).  Each copy carries its arrival
+        delay in windows.  Without a fault model this is always exactly
+        one immediate delivery.
+        """
+        faults = self.faults
+        if faults is None:
+            transmissions = 1
+            deliveries = [Delivery(message)]
+        else:
+            transmissions, deliveries = faults.plan_histogram(message)
+        size = message.size_bytes(self.domain, self.counter_bits)
+        registry = get_registry()
+        for _ in range(transmissions):
+            self.messages.append(message)
+            self.upstream_bytes += size
+            if registry.enabled:
+                registry.counter("channel.upstream.bytes").inc(size)
+                registry.counter("channel.upstream.messages").inc()
+                registry.histogram("channel.message.bytes").observe(size)
+        self.delivered.extend(deliveries)
+        if registry.enabled:
+            dropped = transmissions - len(deliveries)
+            if dropped:
+                registry.counter("channel.faults.dropped").inc(dropped)
+            if transmissions > 1:
+                registry.counter("channel.faults.duplicated").inc(
+                    transmissions - 1
+                )
+            delayed = sum(1 for d in deliveries if d.delay)
+            if delayed:
+                registry.counter("channel.faults.delayed").inc(delayed)
+        return deliveries
+
+    def send_function(
+        self, function: PartitioningFunction, version: Optional[int] = None
+    ) -> bool:
+        """Control Center -> Monitor (version-stamped function install).
+
+        Returns whether the install survived the link; the transmission
+        is charged either way.
+        """
         size = (function.size_bits() + 7) // 8
         self.downstream_bytes += size
+        delivered = self.faults.deliver_install() if self.faults else True
         registry = get_registry()
         if registry.enabled:
             registry.counter("channel.downstream.bytes").inc(size)
             registry.counter("channel.downstream.installs").inc()
+            if not delivered:
+                registry.counter("channel.faults.install_dropped").inc()
+        return delivered
 
     @property
     def total_bytes(self) -> int:

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +35,46 @@ from ..core.partition import Histogram, PartitioningFunction
 from ..obs import get_registry, span
 from .monitor import HistogramMessage
 
-__all__ = ["ControlCenter"]
+__all__ = ["ControlCenter", "DecodedWindow", "STALE_POLICIES"]
+
+#: How :meth:`ControlCenter.decode_window` treats histograms built with
+#: a stale partitioning function:
+#:
+#: * ``"strict"`` — raise (the pre-fault-era contract; right when the
+#:   fleet is supposed to be version-homogeneous).
+#: * ``"quarantine"`` — set stale histograms aside (their bucket layout
+#:   does not match the current function, so they cannot be merged) and
+#:   decode from the current-version ones as-is.
+#: * ``"rescale"`` — quarantine stale histograms, then rescale the
+#:   estimates by observed-monitor coverage: with ``r`` of ``m``
+#:   expected monitors reporting and traffic split uniformly, the
+#:   merged histogram saw roughly ``r/m`` of the window's traffic, so
+#:   estimates are divided by ``r/m``.
+STALE_POLICIES = ("strict", "quarantine", "rescale")
+
+
+@dataclass(frozen=True)
+class DecodedWindow:
+    """One window's decode outcome plus its degradation accounting."""
+
+    #: Per-group estimates (coverage-rescaled under the ``rescale``
+    #: policy).
+    estimates: np.ndarray
+    #: Bucket-wise merge of the histograms that were actually used.
+    merged: Histogram
+    #: Distinct monitors whose histograms contributed to the decode.
+    monitors_reporting: int
+    #: Monitors that were expected to report this window.
+    expected_monitors: int
+    #: Redundant copies discarded by ``(monitor, window, version)`` dedup.
+    duplicates_dropped: int
+    #: Histograms quarantined for carrying a stale function version.
+    stale_messages: int
+    #: ``monitors_reporting / expected_monitors`` (0.0 when nothing was
+    #: expected).
+    coverage: float
+    #: Nonzero buckets across the used histograms (decode-time cost).
+    nonzero_buckets: int
 
 
 class ControlCenter:
@@ -47,14 +87,22 @@ class ControlCenter:
         algorithm: str = "lpm_greedy",
         budget: int = 100,
         cache_size: int = 8,
+        stale_policy: str = "strict",
         **builder_options,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if stale_policy not in STALE_POLICIES:
+            raise ValueError(
+                f"stale_policy must be one of {STALE_POLICIES}, "
+                f"got {stale_policy!r}"
+            )
         self.table = table
         self.metric = metric
         self.algorithm = algorithm
         self.budget = budget
+        #: Mixed-version decode policy (see :data:`STALE_POLICIES`).
+        self.stale_policy = stale_policy
         self.builder_options = builder_options
         self.function: Optional[PartitioningFunction] = None
         self.function_version = -1
@@ -149,28 +197,89 @@ class ControlCenter:
         aggregates are distributive: bucket-wise sums)."""
         return Histogram.merge(msg.histogram for msg in messages)
 
-    def decode(self, messages: Sequence[HistogramMessage]) -> np.ndarray:
-        """Approximate per-group counts for one window."""
+    def decode_window(
+        self,
+        messages: Sequence[HistogramMessage],
+        expected_monitors: Optional[int] = None,
+        policy: Optional[str] = None,
+    ) -> DecodedWindow:
+        """Decode one window, tolerant of the imperfect delivery a real
+        link produces.
+
+        The pipeline is: deduplicate by ``(monitor, window_index,
+        function_version)`` (at-least-once delivery must not double
+        count), quarantine stale-version histograms per ``policy``
+        (default: the instance's ``stale_policy``), merge and
+        reconstruct what remains, and — under ``"rescale"`` — divide
+        the estimates by observed-monitor coverage.  An empty usable
+        set decodes to all-zero estimates, never an error: total
+        message loss is a degraded answer, not a crash.
+        """
         if self.function is None:
             raise RuntimeError("no partitioning function built yet")
-        stale = [
-            m for m in messages if m.function_version != self.function_version
-        ]
-        if stale:
+        policy = self.stale_policy if policy is None else policy
+        if policy not in STALE_POLICIES:
             raise ValueError(
-                f"{len(stale)} histogram(s) built with a stale partitioning "
+                f"stale_policy must be one of {STALE_POLICIES}, "
+                f"got {policy!r}"
+            )
+        seen = set()
+        unique: List[HistogramMessage] = []
+        for m in messages:
+            key = (m.monitor, m.window_index, m.function_version)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(m)
+        duplicates = len(messages) - len(unique)
+        usable = [
+            m for m in unique if m.function_version == self.function_version
+        ]
+        stale = len(unique) - len(usable)
+        if stale and policy == "strict":
+            raise ValueError(
+                f"{stale} histogram(s) built with a stale partitioning "
                 f"function (expected version {self.function_version})"
             )
         registry = get_registry()
         with registry.timer("control.decode.duration").time():
-            merged = self.merge_histograms(messages)
-            estimates = reconstruct_estimates(
-                self.table, self.function, merged
-            )
+            merged = self.merge_histograms(usable)
+            if usable:
+                estimates = reconstruct_estimates(
+                    self.table, self.function, merged
+                )
+            else:
+                estimates = np.zeros(len(self.table), dtype=np.float64)
+        monitors_reporting = len({m.monitor for m in usable})
+        if expected_monitors is None:
+            expected_monitors = len({m.monitor for m in messages})
+        coverage = (
+            monitors_reporting / expected_monitors if expected_monitors else 0.0
+        )
+        if policy == "rescale" and 0.0 < coverage < 1.0:
+            estimates = estimates / coverage
         if registry.enabled:
             registry.counter("control.decodes").inc()
             registry.counter("control.decode.messages").inc(len(messages))
-        return estimates
+            if duplicates:
+                registry.counter("control.decode.duplicates").inc(duplicates)
+            if stale:
+                registry.counter("control.decode.stale").inc(stale)
+        return DecodedWindow(
+            estimates=estimates,
+            merged=merged,
+            monitors_reporting=monitors_reporting,
+            expected_monitors=expected_monitors,
+            duplicates_dropped=duplicates,
+            stale_messages=stale,
+            coverage=coverage,
+            nonzero_buckets=sum(len(m.histogram) for m in usable),
+        )
+
+    def decode(self, messages: Sequence[HistogramMessage]) -> np.ndarray:
+        """Approximate per-group counts for one window (the
+        estimates-only view of :meth:`decode_window`)."""
+        return self.decode_window(messages).estimates
 
     def approximate_answer(
         self, messages: Sequence[HistogramMessage]

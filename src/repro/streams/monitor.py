@@ -44,6 +44,7 @@ class Monitor:
         self.function_version = -1
         self.windows_processed = 0
         self.tuples_processed = 0
+        self.crashes = 0
 
     def install_function(
         self, function: PartitioningFunction, version: int
@@ -52,6 +53,15 @@ class Monitor:
         Center."""
         self.function = function
         self.function_version = version
+
+    def crash(self) -> None:
+        """Crash-and-restart: volatile state (the installed function)
+        is lost; the lifetime statistics survive (they model persistent
+        logs).  The Monitor cannot report again until the Control
+        Center's install scheduler gets a function back onto it."""
+        self.function = None
+        self.function_version = -1
+        self.crashes += 1
 
     def process_window(
         self,

@@ -25,6 +25,15 @@ can fire while the warehouse still holds the same recent windows, and
 the Control Center's rebuild cache (see
 :mod:`repro.streams.control_center`) then reinstalls the memoized
 function instead of re-running the dynamic programs.
+
+Under a faulty channel a rebuild's installs can be *partially*
+delivered: some Monitors run the new function while others still hold
+the old one.  Recalibration tolerates this — failed installs are left
+to the run loop's install scheduler (retry with capped exponential
+backoff), and until the fleet converges the Control Center's
+``stale_policy`` decides whether mixed-version windows are decoded
+from the covered part of the fleet (``"quarantine"``/``"rescale"``) or
+rejected (``"strict"``).
 """
 
 from __future__ import annotations
@@ -36,10 +45,9 @@ import numpy as np
 
 from ..core.partition import Histogram
 from ..obs import get_registry
-from .system import MonitoringSystem, SystemReport, WindowReport
-from .query import exact_group_counts
+from .control_center import DecodedWindow
+from .system import _UNSET, MonitoringSystem, SystemReport
 from .tuples import Trace
-from .windows import TumblingWindows
 
 __all__ = ["BucketDriftDetector", "AdaptiveMonitoringSystem"]
 
@@ -145,84 +153,57 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
         self._warehouse: List[np.ndarray] = []
 
     def _install(self, counts: np.ndarray) -> None:
+        """Rebuild and push the new function to the fleet — best
+        effort.
+
+        Each Monitor gets one transmission now; installs the channel
+        loses are *not* retried here.  The run loop's install scheduler
+        picks the laggards up on subsequent windows, so a partially
+        installed function is a transient mixed-version fleet handled
+        by the decode policy, not an error.
+        """
         function = self.control_center.rebuild_function(counts)
+        version = self.control_center.function_version
         for monitor in self.monitors:
-            self.channel.send_function(function)
-            monitor.install_function(
-                function, self.control_center.function_version
+            if self.channel.send_function(function, version=version):
+                monitor.install_function(function, version)
+
+    def _after_window(
+        self,
+        window: int,
+        decoded: DecodedWindow,
+        actual: np.ndarray,
+        report: SystemReport,
+    ) -> None:
+        # Warehouse logging (non-real-time in a deployment).
+        self._warehouse.append(actual)
+        if len(self._warehouse) > self.warehouse_windows:
+            self._warehouse.pop(0)
+        # Drift decision from the (deduplicated, current-version)
+        # histogram stream alone.
+        rebuild = self.detector.observe(decoded.merged)
+        report.drift_scores.append(self.detector.last_score)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("system.drift.score").observe(
+                self.detector.last_score
             )
+        if rebuild:
+            history = np.sum(self._warehouse, axis=0)
+            self._install(history)
+            self.detector._reference = None  # re-anchor next window
+            report.rebuilds.append(window)
+            if registry.enabled:
+                registry.counter("system.recalibrations").inc()
 
     def run(
         self,
         live: Trace,
         window_width: float,
         split_seed: int = 0,
+        faults: object = _UNSET,
     ) -> AdaptiveReport:
-        if self.control_center.function is None:
-            raise RuntimeError("call train() before run()")
-        report = AdaptiveReport(
-            function_bytes=self.channel.downstream_bytes
+        active = self.faults if faults is _UNSET else faults
+        return self._run_windows(
+            live, window_width, split_seed, active, AdaptiveReport()
         )
-        shares = live.split(len(self.monitors), seed=split_seed)
-        windows = TumblingWindows(window_width)
-        segmented = [list(windows.segment(share)) for share in shares]
-        n_windows = max((len(s) for s in segmented), default=0)
-        for w in range(n_windows):
-            messages = []
-            window_uids = []
-            for monitor, segs in zip(self.monitors, segmented):
-                if w >= len(segs):
-                    continue
-                window = segs[w]
-                msg = monitor.process_window(window.index, window.uids)
-                self.channel.send_histogram(msg)
-                messages.append(msg)
-                window_uids.append(window.uids)
-            if not messages:
-                continue
-            uids = (
-                np.concatenate(window_uids)
-                if window_uids
-                else np.empty(0, dtype=np.int64)
-            )
-            actual = exact_group_counts(self.table, uids)
-            estimates = self.control_center.decode(messages)
-            error = self.control_center.error(estimates, actual)
-            merged = self.control_center.merge_histograms(messages)
-            hist_bytes = sum(
-                m.size_bytes(self.table.domain) for m in messages
-            )
-            raw = self.channel.raw_stream_bytes(int(uids.size))
-            report.windows.append(
-                WindowReport(
-                    window_index=w,
-                    tuples=int(uids.size),
-                    error=error,
-                    histogram_bytes=hist_bytes,
-                    raw_bytes=raw,
-                    nonzero_buckets=sum(len(m.histogram) for m in messages),
-                )
-            )
-            report.raw_bytes += raw
-            # Warehouse logging (non-real-time in a deployment).
-            self._warehouse.append(actual)
-            if len(self._warehouse) > self.warehouse_windows:
-                self._warehouse.pop(0)
-            # Drift decision from the histogram stream alone.
-            rebuild = self.detector.observe(merged)
-            report.drift_scores.append(self.detector.last_score)
-            registry = get_registry()
-            if registry.enabled:
-                registry.histogram("system.drift.score").observe(
-                    self.detector.last_score
-                )
-            if rebuild:
-                history = np.sum(self._warehouse, axis=0)
-                self._install(history)
-                self.detector._reference = None  # re-anchor next window
-                report.rebuilds.append(w)
-                if registry.enabled:
-                    registry.counter("system.recalibrations").inc()
-        report.upstream_bytes = self.channel.upstream_bytes
-        report.function_bytes = self.channel.downstream_bytes
-        return report

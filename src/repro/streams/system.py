@@ -10,6 +10,32 @@ Wires together the full pipeline on a single machine:
 3. the Control Center merges, decodes and scores each window against
    the exact grouped aggregation.
 
+The link between the two sides is not assumed perfect.  Passing a
+:class:`~.faults.FaultModel` makes the channel drop, duplicate, delay
+and reorder histograms, lose function installs, and crash Monitors;
+the pipeline then runs its recovery story — install retries with
+capped exponential backoff, decode-side deduplication, stale-version
+quarantine/rescale — and every :class:`WindowReport` carries the
+degradation accounting (``monitors_reporting``, ``duplicates_dropped``,
+``stale_messages``, ``late_messages``).
+
+Delivery semantics are explicit rather than implicitly exactly-once:
+
+* upstream histograms are at-least-zero-times (drop) and
+  at-least-once under duplication — the Control Center dedups by
+  ``(monitor, window_index, function_version)``;
+* the decode watermark is one window: window ``w`` is decoded at tick
+  ``w`` from the copies that arrived by then; late copies are counted
+  (``late_messages``) and discarded;
+* a window whose histograms were *all* lost is still **reported** — as
+  a fully degraded window with ``monitors_reporting == 0`` and
+  all-zero estimates — never silently skipped.  The only skipped tick
+  is one where no Monitor even had a window slot, which cannot happen
+  with tumbling windows over the longest share (the guard is explicit
+  anyway);
+* downstream installs are at-least-once: version-stamped, idempotent,
+  retried by the :class:`~.faults.InstallScheduler` until acked.
+
 The output is a list of per-window reports plus channel totals — the
 accuracy-per-bit story of the paper, measured rather than asserted.
 """
@@ -17,7 +43,7 @@ accuracy-per-bit story of the paper, measured rather than asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -25,18 +51,24 @@ from ..core.errors import PenaltyMetric
 from ..core.groups import GroupTable
 from ..obs import get_registry, span
 from .channel import Channel
-from .control_center import ControlCenter
+from .control_center import ControlCenter, DecodedWindow
+from .faults import Delivery, FaultModel, InstallScheduler
 from .monitor import Monitor
 from .query import exact_group_counts
 from .tuples import Trace
 from .windows import TumblingWindows
 
-__all__ = ["WindowReport", "MonitoringSystem"]
+__all__ = ["WindowReport", "SystemReport", "MonitoringSystem"]
+
+#: Sentinel distinguishing "no faults passed to run()" from an explicit
+#: ``faults=None`` override of the system-level default.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
 class WindowReport:
-    """Accuracy and cost accounting for one decoded window."""
+    """Accuracy, cost and degradation accounting for one decoded
+    window."""
 
     window_index: int
     tuples: int
@@ -44,6 +76,14 @@ class WindowReport:
     histogram_bytes: int
     raw_bytes: int
     nonzero_buckets: int
+    #: Distinct monitors whose histograms reached this window's decode.
+    monitors_reporting: int = 0
+    #: Redundant deliveries discarded by decode-side deduplication.
+    duplicates_dropped: int = 0
+    #: Deliveries quarantined for carrying a stale function version.
+    stale_messages: int = 0
+    #: Deliveries that arrived after their window's decode watermark.
+    late_messages: int = 0
 
 
 @dataclass
@@ -54,6 +94,11 @@ class SystemReport:
     function_bytes: int = 0
     upstream_bytes: int = 0
     raw_bytes: int = 0
+    #: Monitor crash-and-restart events during the run.
+    monitor_crashes: int = 0
+    #: Deliveries still in flight when the run ended (delayed past the
+    #: last window; never decoded).
+    expired_messages: int = 0
 
     @property
     def mean_error(self) -> float:
@@ -82,102 +127,222 @@ class MonitoringSystem:
         algorithm: str = "lpm_greedy",
         budget: int = 100,
         cache_size: int = 8,
+        stale_policy: str = "strict",
+        faults: Optional[FaultModel] = None,
+        max_install_attempts: int = 64,
         **builder_options,
     ) -> None:
         if num_monitors < 1:
             raise ValueError(f"need at least one monitor, got {num_monitors}")
+        if max_install_attempts < 1:
+            raise ValueError(
+                f"max_install_attempts must be >= 1, got "
+                f"{max_install_attempts}"
+            )
         self.table = table
         self.metric = metric
         self.control_center = ControlCenter(
             table, metric, algorithm=algorithm, budget=budget,
-            cache_size=cache_size, **builder_options,
+            cache_size=cache_size, stale_policy=stale_policy,
+            **builder_options,
         )
         self.monitors = [Monitor(f"monitor-{i}") for i in range(num_monitors)]
-        self.channel = Channel(table.domain)
+        self.faults = faults
+        self.channel = Channel(table.domain, faults=faults)
+        self.max_install_attempts = max_install_attempts
 
     def train(self, history: Trace) -> None:
         """Build the partitioning function from past traffic and push it
-        to every Monitor."""
+        to every Monitor.
+
+        Installs go over the (possibly faulty) channel; training blocks
+        until every Monitor holds the function, retrying lost installs
+        up to ``max_install_attempts`` times per Monitor — every
+        attempt is a charged wire transmission.
+        """
         counts = exact_group_counts(self.table, history.uids)
         function = self.control_center.rebuild_function(counts)
+        version = self.control_center.function_version
         for monitor in self.monitors:
-            self.channel.send_function(function)
-            monitor.install_function(
-                function, self.control_center.function_version
-            )
+            for _ in range(self.max_install_attempts):
+                if self.channel.send_function(function, version=version):
+                    monitor.install_function(function, version)
+                    break
+            else:
+                raise RuntimeError(
+                    f"could not install function on {monitor.name!r} in "
+                    f"{self.max_install_attempts} attempts"
+                )
 
-    def run(
+    # -- the windowed pipeline ---------------------------------------------
+    def _after_window(
+        self,
+        window: int,
+        decoded: DecodedWindow,
+        actual: np.ndarray,
+        report: SystemReport,
+    ) -> None:
+        """Hook run after each decoded window (subclass extension
+        point: drift detection, recalibration, ...)."""
+
+    def _run_windows(
         self,
         live: Trace,
         window_width: float,
-        split_seed: int = 0,
+        split_seed: int,
+        faults: Optional[FaultModel],
+        report: SystemReport,
     ) -> SystemReport:
-        """Stream the live trace through the system window by window."""
         if self.control_center.function is None:
             raise RuntimeError("call train() before run()")
-        report = SystemReport(
-            function_bytes=self.channel.downstream_bytes,
-        )
+        cc = self.control_center
         registry = get_registry()
-        shares = live.split(len(self.monitors), seed=split_seed)
-        windows = TumblingWindows(window_width)
-        segmented = [list(windows.segment(share)) for share in shares]
-        n_windows = max((len(s) for s in segmented), default=0)
-        with span(
-            "system.run", windows=n_windows, monitors=len(self.monitors),
-        ):
-            for w in range(n_windows):
-                messages = []
-                window_uids = []
-                for monitor, segs in zip(self.monitors, segmented):
-                    if w >= len(segs):
+        if faults is not None:
+            faults.reset()
+        previous_faults = self.channel.faults
+        self.channel.faults = faults
+        installer = InstallScheduler()
+        #: arrival tick -> deliveries landing there (delayed copies).
+        in_flight: Dict[int, List[Delivery]] = {}
+        try:
+            shares = live.split(len(self.monitors), seed=split_seed)
+            windows = TumblingWindows(window_width)
+            segmented = [list(windows.segment(share)) for share in shares]
+            n_windows = max((len(s) for s in segmented), default=0)
+            with span(
+                "system.run", windows=n_windows, monitors=len(self.monitors),
+            ):
+                for w in range(n_windows):
+                    # Control plane first: lagging Monitors (crashed, or
+                    # missed an install) get a retry when their backoff
+                    # expires.
+                    installer.tick(w, cc, self.monitors, self.channel)
+                    upstream_before = self.channel.upstream_bytes
+                    arrivals: List[Delivery] = list(in_flight.pop(w, []))
+                    window_uids = []
+                    expected = 0
+                    for monitor, segs in zip(self.monitors, segmented):
+                        if w >= len(segs):
+                            continue
+                        window = segs[w]
+                        # Ground truth covers the traffic that existed,
+                        # whether or not its Monitor managed to report
+                        # it — that is what degradation is measured
+                        # against.
+                        window_uids.append(window.uids)
+                        expected += 1
+                        if faults is not None and faults.crashes(
+                            monitor.name, w
+                        ):
+                            monitor.crash()
+                            report.monitor_crashes += 1
+                            if registry.enabled:
+                                registry.counter(
+                                    "system.monitor.crashes"
+                                ).inc()
+                            continue
+                        if monitor.function is None:
+                            # Down since a crash; rejoins once the
+                            # install scheduler reaches it.
+                            continue
+                        msg = monitor.process_window(
+                            window.index, window.uids
+                        )
+                        for delivery in self.channel.send_histogram(msg):
+                            if delivery.delay == 0:
+                                arrivals.append(delivery)
+                            else:
+                                in_flight.setdefault(
+                                    w + delivery.delay, []
+                                ).append(delivery)
+                    if faults is not None:
+                        faults.apply_reorder(arrivals)
+                    hist_bytes = (
+                        self.channel.upstream_bytes - upstream_before
+                    )
+                    on_time = [
+                        d.message
+                        for d in arrivals
+                        if d.message.window_index == w
+                    ]
+                    late = len(arrivals) - len(on_time)
+                    if late and registry.enabled:
+                        registry.counter("system.messages.late").inc(late)
+                    if not window_uids:
+                        # No Monitor had a window slot this tick; there
+                        # is nothing to ground-truth against, so skip.
                         continue
-                    window = segs[w]
-                    msg = monitor.process_window(window.index, window.uids)
-                    self.channel.send_histogram(msg)
-                    messages.append(msg)
-                    window_uids.append(window.uids)
-                if not messages:
-                    continue
-                uids = (
-                    np.concatenate(window_uids)
-                    if window_uids
-                    else np.empty(0, dtype=np.int64)
-                )
-                actual = exact_group_counts(self.table, uids)
-                estimates = self.control_center.decode(messages)
-                error = self.control_center.error(estimates, actual)
-                hist_bytes = sum(
-                    m.size_bytes(self.table.domain) for m in messages
-                )
-                raw = self.channel.raw_stream_bytes(int(uids.size))
-                nonzero = sum(len(m.histogram) for m in messages)
-                report.windows.append(
-                    WindowReport(
-                        window_index=w,
-                        tuples=int(uids.size),
-                        error=error,
-                        histogram_bytes=hist_bytes,
-                        raw_bytes=raw,
-                        nonzero_buckets=nonzero,
+                    uids = np.concatenate(window_uids)
+                    actual = exact_group_counts(self.table, uids)
+                    decoded = cc.decode_window(
+                        on_time, expected_monitors=expected
                     )
-                )
-                report.raw_bytes += raw
-                if registry.enabled:
-                    registry.counter("system.windows").inc()
-                    registry.counter("system.tuples").inc(int(uids.size))
-                    registry.counter("system.raw.bytes").inc(raw)
-                    registry.histogram("system.window.error").observe(error)
-                    registry.histogram("system.window.bytes").observe(
-                        hist_bytes
+                    error = cc.error(decoded.estimates, actual)
+                    raw = self.channel.raw_stream_bytes(int(uids.size))
+                    report.windows.append(
+                        WindowReport(
+                            window_index=w,
+                            tuples=int(uids.size),
+                            error=error,
+                            histogram_bytes=hist_bytes,
+                            raw_bytes=raw,
+                            nonzero_buckets=decoded.nonzero_buckets,
+                            monitors_reporting=decoded.monitors_reporting,
+                            duplicates_dropped=decoded.duplicates_dropped,
+                            stale_messages=decoded.stale_messages,
+                            late_messages=late,
+                        )
                     )
-                    registry.histogram(
-                        "system.window.nonzero_buckets"
-                    ).observe(nonzero)
+                    report.raw_bytes += raw
+                    if registry.enabled:
+                        registry.counter("system.windows").inc()
+                        registry.counter("system.tuples").inc(int(uids.size))
+                        registry.counter("system.raw.bytes").inc(raw)
+                        registry.histogram("system.window.error").observe(
+                            error
+                        )
+                        registry.histogram("system.window.bytes").observe(
+                            hist_bytes
+                        )
+                        registry.histogram(
+                            "system.window.nonzero_buckets"
+                        ).observe(decoded.nonzero_buckets)
+                        registry.histogram(
+                            "system.window.monitors_reporting"
+                        ).observe(decoded.monitors_reporting)
+                    self._after_window(w, decoded, actual, report)
+            report.expired_messages = sum(
+                len(v) for v in in_flight.values()
+            )
+            if report.expired_messages and registry.enabled:
+                registry.counter("system.messages.expired").inc(
+                    report.expired_messages
+                )
+        finally:
+            self.channel.faults = previous_faults
         report.upstream_bytes = self.channel.upstream_bytes
+        report.function_bytes = self.channel.downstream_bytes
         if registry.enabled:
             registry.gauge("system.mean_error").set(report.mean_error)
             registry.gauge("system.compression_ratio").set(
                 report.compression_ratio
             )
         return report
+
+    def run(
+        self,
+        live: Trace,
+        window_width: float,
+        split_seed: int = 0,
+        faults: object = _UNSET,
+    ) -> SystemReport:
+        """Stream the live trace through the system window by window.
+
+        ``faults`` overrides the system-level fault model for this run
+        (``None`` forces a clean link); by default the model given at
+        construction applies.
+        """
+        active = self.faults if faults is _UNSET else faults
+        return self._run_windows(
+            live, window_width, split_seed, active, SystemReport()
+        )

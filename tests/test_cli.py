@@ -83,6 +83,23 @@ class TestSimulate:
         text = capsys.readouterr().out
         assert "compression ratio" in text
         assert "mean rms error" in text
+        # No fault model -> no degradation section.
+        assert "monitors reporting" not in text
+
+    def test_simulate_with_faults_prints_degradation(self, capsys):
+        assert main(["simulate", "--height", "10", "--packets", "20000",
+                     "--budget", "20", "--monitors", "4",
+                     "--faults", "drop=0.2,dup=0.1,seed=42",
+                     "--stale-policy", "rescale"]) == 0
+        text = capsys.readouterr().out
+        assert "monitors reporting" in text
+        assert "duplicates dropped" in text
+        assert "stale messages" in text
+
+    def test_simulate_bad_fault_spec_rejected(self, capsys):
+        assert main(["simulate", "--height", "10", "--packets", "5000",
+                     "--faults", "dorp=0.2"]) == 2
+        assert "unknown fault spec key" in capsys.readouterr().err
 
 
 def test_version(capsys):

@@ -7,7 +7,7 @@ import pytest
 from repro import Histogram, UIDDomain, get_metric
 from repro.data import TrafficModel, generate_subnet_table
 from repro.data.traffic import generate_timestamped_trace
-from repro.streams import MonitoringSystem, Trace
+from repro.streams import FaultModel, MonitoringSystem, Trace
 from repro.streams.recalibrate import (
     AdaptiveMonitoringSystem,
     BucketDriftDetector,
@@ -131,3 +131,63 @@ class TestAdaptiveSystem:
             AdaptiveMonitoringSystem(
                 table, get_metric("rms"), warehouse_windows=0
             )
+
+
+class TestPartialInstall:
+    """A rebuild whose installs are (partially) lost leaves a
+    mixed-version fleet; recalibration must ride it out via the stale
+    policy and the install scheduler's retries, not crash."""
+
+    def _system(self, stale_policy):
+        table, trace = _drifting_workload()
+        system = AdaptiveMonitoringSystem(
+            table, get_metric("average"), num_monitors=2,
+            algorithm="overlapping", budget=40,
+            detector=BucketDriftDetector(threshold=0.3, patience=1),
+            stale_policy=stale_policy,
+        )
+        system.train(trace.slice_time(0, 15))
+        return system, trace.slice_time(15, 60)
+
+    def test_lost_installs_quarantined_and_survived(self):
+        system, live = self._system("quarantine")
+        baseline_downstream = system.channel.downstream_bytes
+        # Every install transmission after training is lost: once the
+        # drift detector fires, the whole fleet goes permanently stale.
+        report = system.run(
+            live, window_width=5.0,
+            faults=FaultModel(install_drop=1.0, seed=5),
+        )
+        assert report.rebuilds  # drift still detected and acted on
+        first = report.rebuilds[0]
+        degraded = [w for w in report.windows if w.window_index > first]
+        assert degraded
+        assert all(w.stale_messages > 0 for w in degraded)
+        assert all(w.monitors_reporting == 0 for w in degraded)
+        assert all(np.isfinite(w.error) for w in report.windows)
+        # The rebuild itself plus the scheduler's backoff retries were
+        # all charged downstream.
+        assert report.function_bytes > baseline_downstream
+
+    def test_lost_installs_strict_policy_raises(self):
+        system, live = self._system("strict")
+        with pytest.raises(ValueError, match="stale"):
+            system.run(
+                live, window_width=5.0,
+                faults=FaultModel(install_drop=1.0, seed=5),
+            )
+
+    def test_recovering_installs_reconverge(self):
+        """With installs lost only sometimes, retries eventually land
+        and the fleet converges back to the current version."""
+        system, live = self._system("rescale")
+        report = system.run(
+            live, window_width=5.0,
+            faults=FaultModel(install_drop=0.5, seed=8),
+        )
+        assert report.rebuilds
+        assert all(np.isfinite(w.error) for w in report.windows)
+        # After the last rebuild settles, full-strength windows exist.
+        assert any(
+            w.monitors_reporting == 2 for w in report.windows
+        )

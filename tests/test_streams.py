@@ -14,7 +14,9 @@ from repro import (
 from repro.streams import (
     Channel,
     ControlCenter,
+    FaultModel,
     GroupedAggregationQuery,
+    InstallScheduler,
     Monitor,
     SlidingWindows,
     Trace,
@@ -192,6 +194,182 @@ class TestControlCenter:
         ans = cc.approximate_answer([msg])
         assert set(ans) <= {"g0", "g1", "g2", "g3"}
         assert sum(ans.values()) == pytest.approx(2.0)
+
+
+class TestChannelFaultAccounting:
+    """Bytes are charged once per *wire transmission*: duplicates twice,
+    dropped messages once (the bytes were spent even though nothing
+    arrived), and every install retry again — so compression_ratio
+    reflects real link cost."""
+
+    def _message(self, table):
+        dom = table.domain
+        fn = LongestPrefixMatchPartitioning(dom, [Bucket(1)])
+        m = Monitor("m0")
+        m.install_function(fn, 0)
+        return fn, m.process_window(0, [0, 1, 2])
+
+    def test_duplicate_charged_per_copy(self, table):
+        fn, msg = self._message(table)
+        ch = Channel(table.domain, faults=FaultModel(duplicate=1.0))
+        deliveries = ch.send_histogram(msg)
+        size = msg.size_bytes(table.domain)
+        assert len(deliveries) == 2
+        assert len(ch.messages) == 2
+        assert ch.upstream_bytes == 2 * size
+
+    def test_drop_still_charged_once(self, table):
+        fn, msg = self._message(table)
+        ch = Channel(table.domain, faults=FaultModel(drop=1.0))
+        deliveries = ch.send_histogram(msg)
+        assert deliveries == []
+        assert len(ch.messages) == 1
+        assert ch.upstream_bytes == msg.size_bytes(table.domain)
+        assert ch.delivered == []
+
+    def test_duplicate_of_dropped_copy_still_possible(self, table):
+        """drop=1 with duplicate=1: two transmissions, both lost, both
+        charged."""
+        fn, msg = self._message(table)
+        ch = Channel(table.domain,
+                     faults=FaultModel(drop=1.0, duplicate=1.0))
+        assert ch.send_histogram(msg) == []
+        assert ch.upstream_bytes == 2 * msg.size_bytes(table.domain)
+
+    def test_install_retries_charged_per_attempt(self, table):
+        fn, _msg = self._message(table)
+        ch = Channel(table.domain, faults=FaultModel(install_drop=1.0))
+        size = (fn.size_bits() + 7) // 8
+        for _ in range(3):
+            assert ch.send_function(fn, version=0) is False
+        assert ch.downstream_bytes == 3 * size
+
+    def test_clean_channel_single_delivery(self, table):
+        fn, msg = self._message(table)
+        ch = Channel(table.domain)
+        deliveries = ch.send_histogram(msg)
+        assert len(deliveries) == 1
+        assert deliveries[0].delay == 0
+        assert ch.upstream_bytes == msg.size_bytes(table.domain)
+        assert ch.send_function(fn) is True
+
+
+class TestInstallScheduler:
+    def _fleet(self, table):
+        dom = table.domain
+        fn = LongestPrefixMatchPartitioning(dom, [Bucket(1)])
+        cc = type("CC", (), {"function": fn, "function_version": 3})()
+        monitor = Monitor("m0")
+        return fn, cc, monitor
+
+    def test_backoff_schedule_caps(self, table):
+        """With every install lost, retries follow 1, 2, 4, 8, 8, ...
+        windows between attempts (capped exponential backoff), each
+        attempt charged downstream."""
+        fn, cc, monitor = self._fleet(table)
+        ch = Channel(table.domain, faults=FaultModel(install_drop=1.0))
+        sched = InstallScheduler(backoff_base=1, backoff_cap=8)
+        attempt_windows = []
+        before = 0
+        for w in range(23):
+            sched.tick(w, cc, [monitor], ch)
+            if ch.downstream_bytes > before:
+                attempt_windows.append(w)
+                before = ch.downstream_bytes
+        assert attempt_windows == [0, 2, 6, 14, 22]
+        size = (fn.size_bits() + 7) // 8
+        assert ch.downstream_bytes == len(attempt_windows) * size
+        assert sched.attempts == 5
+        assert sched.retries == 4
+        assert monitor.function is None
+
+    def test_delivered_install_clears_state(self, table):
+        fn, cc, monitor = self._fleet(table)
+        ch = Channel(table.domain)
+        sched = InstallScheduler()
+        assert sched.tick(0, cc, [monitor], ch) == 1
+        assert monitor.function is fn
+        assert monitor.function_version == 3
+        assert sched.pending == 0
+        # Up to date: further ticks send nothing.
+        bytes_after = ch.downstream_bytes
+        sched.tick(1, cc, [monitor], ch)
+        assert ch.downstream_bytes == bytes_after
+
+    def test_crashed_monitor_reinstalled_next_tick(self, table):
+        fn, cc, monitor = self._fleet(table)
+        ch = Channel(table.domain)
+        sched = InstallScheduler()
+        sched.tick(0, cc, [monitor], ch)
+        monitor.crash()
+        assert monitor.crashes == 1
+        assert sched.tick(1, cc, [monitor], ch) == 1
+        assert monitor.function_version == 3
+
+    def test_bad_backoff_rejected(self, table):
+        with pytest.raises(ValueError):
+            InstallScheduler(backoff_base=0)
+        with pytest.raises(ValueError):
+            InstallScheduler(backoff_base=4, backoff_cap=2)
+
+
+class TestDecodeWindow:
+    def _setup(self, table):
+        cc = ControlCenter(table, get_metric("rms"),
+                           algorithm="nonoverlapping", budget=4)
+        fn = cc.rebuild_function(np.array([10.0, 6.0, 4.0, 2.0]))
+        monitors = [Monitor(f"m{i}") for i in range(2)]
+        for m in monitors:
+            m.install_function(fn, cc.function_version)
+        return cc, fn, monitors
+
+    def test_duplicates_deduped_by_key(self, table):
+        cc, _fn, monitors = self._setup(table)
+        msg0 = monitors[0].process_window(0, [0, 1, 4])
+        msg1 = monitors[1].process_window(0, [8, 12])
+        clean = cc.decode_window([msg0, msg1])
+        doubled = cc.decode_window([msg0, msg0, msg1, msg1, msg0])
+        assert doubled.duplicates_dropped == 3
+        assert doubled.monitors_reporting == 2
+        assert np.array_equal(doubled.estimates, clean.estimates)
+
+    def test_stale_policy_quarantine_counts(self, table):
+        cc, _fn, monitors = self._setup(table)
+        old = monitors[0].process_window(0, [0, 1])
+        new_fn = cc.rebuild_function(np.array([10.0, 6.0, 4.0, 2.0]))
+        monitors[1].install_function(new_fn, cc.function_version)
+        fresh = monitors[1].process_window(0, [8])
+        decoded = cc.decode_window(
+            [old, fresh], expected_monitors=2, policy="quarantine"
+        )
+        assert decoded.stale_messages == 1
+        assert decoded.monitors_reporting == 1
+        assert decoded.estimates.sum() == pytest.approx(1.0)
+
+    def test_stale_policy_rescale_scales_by_coverage(self, table):
+        cc, _fn, monitors = self._setup(table)
+        old = monitors[0].process_window(0, [0, 1])
+        new_fn = cc.rebuild_function(np.array([10.0, 6.0, 4.0, 2.0]))
+        monitors[1].install_function(new_fn, cc.function_version)
+        fresh = monitors[1].process_window(0, [8])
+        quarantined = cc.decode_window(
+            [old, fresh], expected_monitors=2, policy="quarantine"
+        )
+        rescaled = cc.decode_window(
+            [old, fresh], expected_monitors=2, policy="rescale"
+        )
+        assert rescaled.coverage == pytest.approx(0.5)
+        assert np.array_equal(
+            rescaled.estimates, quarantined.estimates * 2.0
+        )
+
+    def test_bad_policy_rejected(self, table):
+        cc, _fn, monitors = self._setup(table)
+        msg = monitors[0].process_window(0, [0])
+        with pytest.raises(ValueError, match="stale_policy"):
+            cc.decode_window([msg], policy="ignore")
+        with pytest.raises(ValueError, match="stale_policy"):
+            ControlCenter(table, get_metric("rms"), stale_policy="nope")
 
 
 class TestChannelCounterBits:

@@ -6,7 +6,8 @@ import pytest
 from repro import UIDDomain, get_metric
 from repro.data import TrafficModel, generate_subnet_table
 from repro.data.traffic import generate_timestamped_trace
-from repro.streams import MonitoringSystem, Trace
+from repro.obs import MetricsRegistry, use_registry
+from repro.streams import FaultModel, MonitoringSystem, Trace
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +112,177 @@ def test_zero_tuple_window_keeps_uid_dtype(workload):
     assert empty.tuples == 0
     assert empty.error == 0.0
     assert np.isfinite(report.mean_error)
+
+
+class TestFaultyPipeline:
+    def test_zero_fault_model_is_golden_identical(self, workload):
+        """With every fault probability at zero, a run with a
+        FaultModel must be byte-identical to a run without one — the
+        fault machinery adds no observable behavior until a fault
+        actually fires."""
+        table, history, live = workload
+        reports = {}
+        systems = {}
+        for key, faults in (("clean", None), ("zero", FaultModel(seed=7))):
+            system = MonitoringSystem(
+                table, get_metric("rms"), num_monitors=3,
+                algorithm="lpm_greedy", budget=40,
+            )
+            system.train(history)
+            systems[key] = system
+            reports[key] = system.run(live, window_width=5.0, faults=faults)
+        clean, zero = reports["clean"], reports["zero"]
+        # WindowReport is a frozen dataclass: == is exact, field by
+        # field, floats included.
+        assert zero.windows == clean.windows
+        assert zero.upstream_bytes == clean.upstream_bytes
+        assert zero.function_bytes == clean.function_bytes
+        assert zero.raw_bytes == clean.raw_bytes
+        assert zero.mean_error == clean.mean_error
+        assert zero.compression_ratio == clean.compression_ratio
+        def wire(channel):
+            return [
+                (m.monitor, m.window_index, m.function_version,
+                 m.histogram.counts, m.histogram.unmatched,
+                 m.histogram.total)
+                for m in channel.messages
+            ]
+
+        assert wire(systems["zero"].channel) == wire(systems["clean"].channel)
+
+    def test_total_message_loss_reports_degraded_windows(self, workload):
+        """Losing every histogram must *report* each window as fully
+        degraded (zero estimates, finite error), never skip it: the
+        pre-fault code's silent ``continue`` on an empty message list
+        is now an explicit, tested policy."""
+        table, history, live = workload
+        clean = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm="lpm_greedy", budget=40,
+        )
+        clean.train(history)
+        baseline = clean.run(live, window_width=5.0)
+        lossy = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm="lpm_greedy", budget=40,
+        )
+        lossy.train(history)
+        report = lossy.run(
+            live, window_width=5.0, faults=FaultModel(drop=1.0)
+        )
+        assert len(report.windows) == len(baseline.windows)
+        for w in report.windows:
+            assert w.monitors_reporting == 0
+            assert np.isfinite(w.error)
+        # Transmissions still happened and were still charged.
+        assert report.upstream_bytes == baseline.upstream_bytes
+        assert not lossy.channel.delivered
+
+    def test_faulty_end_to_end_accounting_and_counters(self, workload):
+        """The acceptance scenario: drop=0.2, dup=0.1, seed=42 over 4
+        monitors completes with finite errors, per-window accounting
+        that matches what actually crossed the wire, and repro.obs
+        counters that agree with the report."""
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=4,
+            algorithm="lpm_greedy", budget=40,
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            system.train(history)
+            report = system.run(
+                live, window_width=5.0,
+                faults=FaultModel(drop=0.2, duplicate=0.1, seed=42),
+            )
+        assert report.windows
+        for w in report.windows:
+            assert np.isfinite(w.error)
+        # monitors_reporting mirrors the surviving deliveries.
+        survivors = {}
+        for d in system.channel.delivered:
+            survivors.setdefault(d.message.window_index, set()).add(
+                d.message.monitor
+            )
+        for w in report.windows:
+            assert w.monitors_reporting == len(
+                survivors.get(w.window_index, set())
+            )
+        # Per-window duplicates: surviving copies minus unique keys.
+        arrived = {}
+        for d in system.channel.delivered:
+            key = (d.message.monitor, d.message.window_index)
+            arrived[key] = arrived.get(key, 0) + 1
+        for w in report.windows:
+            expected_dupes = sum(
+                n - 1
+                for (_, wi), n in arrived.items()
+                if wi == w.window_index
+            )
+            assert w.duplicates_dropped == expected_dupes
+        # obs counters agree with both the channel and the report.
+        dropped = registry.get("counter", "channel.faults.dropped")
+        assert dropped is not None
+        assert dropped.value == len(system.channel.messages) - len(
+            system.channel.delivered
+        )
+        dup_counter = registry.get("counter", "control.decode.duplicates")
+        total_dupes = sum(w.duplicates_dropped for w in report.windows)
+        assert total_dupes > 0
+        assert dup_counter is not None and dup_counter.value == total_dupes
+        up = registry.get("counter", "channel.upstream.bytes")
+        assert up.value == report.upstream_bytes
+
+    def test_crash_and_reinstall_recovers(self, workload):
+        """A crashed Monitor misses windows until the install
+        scheduler reaches it, then reports again; reinstalls are
+        charged downstream."""
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=3,
+            algorithm="lpm_greedy", budget=40,
+        )
+        system.train(history)
+        baseline_function_bytes = system.channel.downstream_bytes
+        report = system.run(
+            live, window_width=5.0,
+            faults=FaultModel(crash=0.35, seed=9),
+        )
+        assert report.monitor_crashes > 0
+        assert report.function_bytes > baseline_function_bytes
+        assert any(
+            w.monitors_reporting < len(system.monitors)
+            for w in report.windows
+        )
+        # Recovery happened: some later window is back to full strength.
+        assert any(
+            w.monitors_reporting == len(system.monitors)
+            for w in report.windows
+        )
+        for w in report.windows:
+            assert np.isfinite(w.error)
+
+    def test_delayed_messages_are_late_not_decoded(self, workload):
+        """Every delivery delayed by >= 1 window misses its decode
+        watermark: it shows up as a late (or expired) message, never in
+        monitors_reporting."""
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm="lpm_greedy", budget=40,
+        )
+        system.train(history)
+        report = system.run(
+            live, window_width=5.0,
+            faults=FaultModel(delay=1.0, max_delay_windows=2, seed=1),
+        )
+        assert all(w.monitors_reporting == 0 for w in report.windows)
+        late_or_expired = (
+            sum(w.late_messages for w in report.windows)
+            + report.expired_messages
+        )
+        assert late_or_expired == len(system.channel.delivered)
+        assert late_or_expired > 0
 
 
 class TestCompressionRatio:
