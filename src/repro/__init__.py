@@ -28,6 +28,8 @@ from .core import (
     AverageError,
     AverageRelativeError,
     Bucket,
+    CompiledEstimator,
+    CompiledPartitioner,
     DistributiveErrorMetric,
     GroupTable,
     Histogram,
@@ -94,6 +96,8 @@ __all__ = [
     "OverlappingPartitioning",
     "LongestPrefixMatchPartitioning",
     # estimation
+    "CompiledPartitioner",
+    "CompiledEstimator",
     "assign_groups_to_buckets",
     "histogram_from_group_counts",
     "reconstruct_estimates",

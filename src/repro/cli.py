@@ -60,7 +60,14 @@ from .obs import (
     use_registry,
     write_metrics,
 )
-from .streams import STALE_POLICIES, FaultModel, MonitoringSystem, Trace
+from .streams import (
+    STALE_POLICIES,
+    STREAM_KERNEL_MODES,
+    FaultModel,
+    MonitoringSystem,
+    Trace,
+    use_stream_kernel_mode,
+)
 
 __all__ = ["main"]
 
@@ -179,12 +186,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         table, get_metric(args.metric), num_monitors=args.monitors,
         algorithm=args.algorithm, budget=args.budget,
         stale_policy=args.stale_policy, faults=faults,
+        parallel=args.parallel,
     )
-    system.train(trace.slice_time(0, half))
-    report = system.run(
-        trace.slice_time(half, args.duration),
-        window_width=half / max(1, args.windows),
-    )
+    with use_stream_kernel_mode(args.stream_kernels):
+        system.train(trace.slice_time(0, half))
+        report = system.run(
+            trace.slice_time(half, args.duration),
+            window_width=half / max(1, args.windows),
+        )
     print(f"windows decoded   : {len(report.windows)}")
     print(f"mean {args.metric} error: {report.mean_error:.4g}")
     print(f"histogram bytes   : {report.upstream_bytes}")
@@ -294,6 +303,14 @@ def _parser() -> argparse.ArgumentParser:
                    default="strict",
                    help="how decode treats stale-version histograms "
                    "(default strict)")
+    s.add_argument("--stream-kernels", choices=STREAM_KERNEL_MODES,
+                   default="fast",
+                   help="serving-path kernels: compiled 'fast' (default) "
+                   "or the 'naive' reference loops; results are "
+                   "bit-identical (also REPRO_STREAM_KERNELS)")
+    s.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="partitioning worker threads across monitors "
+                   "(default 1 = serial; results are identical)")
     s.set_defaults(func=_cmd_simulate)
 
     st = sub.add_parser("stats",

@@ -20,6 +20,7 @@ from .estimate import (
     net_group_populations,
     reconstruct_estimates,
 )
+from .compiled import CompiledEstimator, CompiledPartitioner
 from .groups import GroupTable
 from .hierarchy import PNode, PrunedHierarchy
 from .serialize import (
@@ -60,6 +61,8 @@ __all__ = [
     "NonoverlappingPartitioning",
     "OverlappingPartitioning",
     "LongestPrefixMatchPartitioning",
+    "CompiledPartitioner",
+    "CompiledEstimator",
     "assign_groups_to_buckets",
     "histogram_from_group_counts",
     "reconstruct_estimates",

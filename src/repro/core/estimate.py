@@ -28,6 +28,7 @@ by its histogram.
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -50,6 +51,56 @@ __all__ = [
 ]
 
 
+class _SpreadData:
+    """Per-``(table, function)`` spread metadata, computed once and
+    reused across windows: the group→bucket assignment plus the gross
+    and hole-netted key-density tables."""
+
+    __slots__ = ("assigned", "gross", "net")
+
+    def __init__(
+        self, assigned: np.ndarray, gross: Dict[int, int], net: Dict[int, int]
+    ) -> None:
+        self.assigned = assigned
+        self.gross = gross
+        self.net = net
+
+
+#: function -> (table, _SpreadData).  Keyed weakly so discarded
+#: functions do not pin their tables; entries are recomputed if the
+#: same function is suddenly evaluated against a different table.
+_SPREAD_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _spread_data(
+    table: GroupTable, function: PartitioningFunction
+) -> _SpreadData:
+    """The cached spread metadata for ``(table, function)``.
+
+    The decode path historically rebuilt the ``groups_below`` dicts and
+    the assignment array on *every* window
+    (:func:`net_group_populations`, :func:`reconstruct_estimates` and
+    :func:`histogram_from_group_counts` each recomputed them per call);
+    functions and tables are immutable once built, so one compute per
+    install is enough.
+    """
+    entry = _SPREAD_CACHE.get(function)
+    if entry is not None and entry[0] is table:
+        return entry[1]
+    assigned = _assign_groups(table, function)
+    gross = {n: table.groups_below(n) for n in function.match_nodes}
+    if isinstance(function, LongestPrefixMatchPartitioning):
+        net = dict(gross)
+        for child, parent in function.nesting_parent().items():
+            if parent is not None:
+                net[parent] -= gross[child]
+    else:
+        net = gross
+    data = _SpreadData(assigned, gross, net)
+    _SPREAD_CACHE[function] = (table, data)
+    return data
+
+
 def assign_groups_to_buckets(
     table: GroupTable, function: PartitioningFunction
 ) -> np.ndarray:
@@ -57,12 +108,19 @@ def assign_groups_to_buckets(
 
     Returns an int64 array parallel to the group table; groups enclosed
     by no bucket get ``-1`` (their estimate is zero — the Control
-    Center infers emptiness for uncovered regions).
+    Center infers emptiness for uncovered regions).  The computation is
+    cached per ``(table, function)``; callers get a private copy.
 
     Raises :class:`ValueError` if some bucket sits strictly below a
     group node: such a function splits a group across buckets and the
     group-level uniformity estimator is no longer well defined.
     """
+    return _spread_data(table, function).assigned.copy()
+
+
+def _assign_groups(
+    table: GroupTable, function: PartitioningFunction
+) -> np.ndarray:
     assigned = np.full(len(table), -1, dtype=np.int64)
     # Match nodes sorted shallow-to-deep; deeper assignments overwrite.
     for node in sorted(function.match_nodes, key=UIDDomain.depth):
@@ -88,15 +146,9 @@ def net_group_populations(
     """Groups per match node, net of nested buckets when the semantics
     are longest-prefix-match (holes remove their groups from the
     parent).  For the other semantics this is the plain key density
-    table."""
-    gross = {n: table.groups_below(n) for n in function.match_nodes}
-    if not isinstance(function, LongestPrefixMatchPartitioning):
-        return gross
-    net = dict(gross)
-    for child, parent in function.nesting_parent().items():
-        if parent is not None:
-            net[parent] -= gross[child]
-    return net
+    table.  Cached per ``(table, function)``; callers get a private
+    copy."""
+    return dict(_spread_data(table, function).net)
 
 
 def histogram_from_group_counts(
@@ -118,16 +170,15 @@ def histogram_from_group_counts(
         )
     total = float(counts.sum())
     out: Dict[int, float] = {}
+    assigned = _spread_data(table, function).assigned
     if isinstance(function, OverlappingPartitioning):
         for node in function.match_nodes:
             idx = table.group_indices_below(node)
             c = float(counts[idx].sum())
             if c:
                 out[node] = c
-        assigned = assign_groups_to_buckets(table, function)
         unmatched = float(counts[assigned < 0].sum())
     else:
-        assigned = assign_groups_to_buckets(table, function)
         for node in function.match_nodes:
             c = float(counts[assigned == node].sum())
             if c:
@@ -145,13 +196,14 @@ def reconstruct_estimates(
 
     Returns a float64 array parallel to the group table.
     """
-    assigned = assign_groups_to_buckets(table, function)
+    spread = _spread_data(table, function)
+    assigned = spread.assigned
     estimates = np.zeros(len(table), dtype=np.float64)
     sparse_inner = {
         b.sparse_group_node: b.node for b in function.buckets if b.is_sparse
     }
     if isinstance(function, OverlappingPartitioning):
-        populations = {n: table.groups_below(n) for n in function.match_nodes}
+        populations = spread.gross
         sparse_outer = _sparse_outers(function)
         for node in function.match_nodes:
             sel = assigned == node
@@ -175,7 +227,7 @@ def reconstruct_estimates(
     # Nonoverlapping and longest-prefix-match: bucket counts are already
     # net of nested regions, so one rule covers both (and sparse buckets
     # fall out naturally — the inner node has population 1).
-    populations = net_group_populations(table, function)
+    populations = spread.net
     for node in function.match_nodes:
         sel = assigned == node
         if not sel.any():

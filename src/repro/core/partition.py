@@ -73,12 +73,19 @@ class Bucket:
 class Histogram:
     """Per-bucket aggregates for one window — the Monitor's message.
 
-    ``counts`` maps *match nodes* (bucket anchor nodes, including sparse
-    inner nodes) to counts; zero-count buckets are omitted, since the
-    Control Center infers them (Section 4.3).  ``unmatched`` counts
-    identifiers no bucket covered (possible under longest-prefix-match
-    functions whose root does not span live traffic).
+    Internally array-backed: parallel sorted ``nodes``/``values`` arrays
+    hold the nonzero buckets, so merging, sizing and the Control
+    Center's compiled decode are vectorized.  ``counts`` — the mapping
+    from *match nodes* (bucket anchor nodes, including sparse inner
+    nodes) to counts that the rest of the system historically consumed
+    — is preserved as a lazily materialized read-only view.  Zero-count
+    buckets are omitted, since the Control Center infers them
+    (Section 4.3).  ``unmatched`` counts identifiers no bucket covered
+    (possible under longest-prefix-match functions whose root does not
+    span live traffic).
     """
+
+    __slots__ = ("nodes", "values", "unmatched", "total", "_dict")
 
     def __init__(
         self,
@@ -86,43 +93,113 @@ class Histogram:
         unmatched: float = 0.0,
         total: float = 0.0,
     ) -> None:
-        self.counts = {int(k): float(v) for k, v in counts.items() if v != 0}
+        nodes = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        values = np.fromiter(
+            counts.values(), dtype=np.float64, count=len(counts)
+        )
+        self._init_arrays(nodes, values, unmatched, total)
+
+    def _init_arrays(
+        self,
+        nodes: np.ndarray,
+        values: np.ndarray,
+        unmatched: float,
+        total: float,
+    ) -> None:
+        nonzero = values != 0
+        if not nonzero.all():
+            nodes, values = nodes[nonzero], values[nonzero]
+        if nodes.size > 1 and np.any(nodes[1:] < nodes[:-1]):
+            order = np.argsort(nodes, kind="stable")
+            nodes, values = nodes[order], values[order]
+        self.nodes = nodes
+        self.values = values
         self.unmatched = float(unmatched)
         self.total = float(total)
+        self._dict: Optional[Dict[int, float]] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        nodes: np.ndarray,
+        values: np.ndarray,
+        unmatched: float = 0.0,
+        total: float = 0.0,
+    ) -> "Histogram":
+        """Build directly from parallel node/value arrays (the compiled
+        partitioning and merge paths), skipping the dict round-trip."""
+        h = cls.__new__(cls)
+        h._init_arrays(
+            np.asarray(nodes, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+            unmatched,
+            total,
+        )
+        return h
+
+    @property
+    def counts(self) -> Dict[int, float]:
+        """Node-to-count mapping (nonzero buckets only).  Materialized
+        on first access and cached; treat it as read-only."""
+        if self._dict is None:
+            self._dict = dict(
+                zip(self.nodes.tolist(), self.values.tolist())
+            )
+        return self._dict
 
     def __len__(self) -> int:
-        return len(self.counts)
+        return int(self.nodes.size)
 
     def get(self, node: int) -> float:
-        return self.counts.get(node, 0.0)
+        k = int(np.searchsorted(self.nodes, node))
+        if k < self.nodes.size and int(self.nodes[k]) == node:
+            return float(self.values[k])
+        return 0.0
 
     @classmethod
     def merge(cls, histograms: "Iterable[Histogram]") -> "Histogram":
         """Merge histograms of disjoint sub-streams (count aggregates
         are distributive: bucket-wise sums).  Used both by the Control
-        Center to combine Monitors and by pane-based sliding windows."""
-        counts: Dict[int, float] = {}
+        Center to combine Monitors and by pane-based sliding windows.
+
+        Vectorized: one concatenation + bincount over the union of
+        nonzero buckets.  Per-node sums accumulate in histogram order —
+        exactly the order the historical dict merge used — so merged
+        floats are bit-identical to the reference behaviour.
+        """
+        hs = list(histograms)
         unmatched = 0.0
         total = 0.0
-        for h in histograms:
-            for node, c in h.counts.items():
-                counts[node] = counts.get(node, 0.0) + c
+        for h in hs:
             unmatched += h.unmatched
             total += h.total
-        return cls(counts, unmatched=unmatched, total=total)
+        if not hs:
+            return cls({}, unmatched=unmatched, total=total)
+        if len(hs) == 1:
+            h = hs[0]
+            return cls.from_arrays(
+                h.nodes.copy(), h.values.copy(), unmatched, total
+            )
+        all_nodes = np.concatenate([h.nodes for h in hs])
+        all_values = np.concatenate([h.values for h in hs])
+        nodes, inverse = np.unique(all_nodes, return_inverse=True)
+        sums = np.bincount(
+            inverse, weights=all_values, minlength=nodes.size
+        )
+        return cls.from_arrays(nodes, sums, unmatched, total)
 
     def size_bits(self, domain: UIDDomain, counter_bits: int = 32) -> int:
         """Transmitted size: one (identifier, counter) pair per nonzero
         bucket."""
         id_bits = _node_id_bits(domain)
-        return len(self.counts) * (id_bits + counter_bits)
+        return len(self) * (id_bits + counter_bits)
 
     def size_bytes(self, domain: UIDDomain, counter_bits: int = 32) -> int:
         return (self.size_bits(domain, counter_bits) + 7) // 8
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"Histogram({len(self.counts)} nonzero buckets, "
+            f"Histogram({len(self)} nonzero buckets, "
             f"total={self.total:g}, unmatched={self.unmatched:g})"
         )
 

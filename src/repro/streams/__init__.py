@@ -3,6 +3,12 @@ Monitors partition identifier streams into compact histograms; the
 Control Center builds the partitioning functions and reconstructs
 approximate grouped-aggregation answers."""
 
+from .kernels import (
+    STREAM_KERNEL_MODES,
+    set_stream_kernel_mode,
+    stream_kernel_mode,
+    use_stream_kernel_mode,
+)
 from .tuples import Trace
 from .windows import SlidingWindows, TumblingWindows, Window
 from .query import exact_group_counts, GroupedAggregationQuery
@@ -15,6 +21,10 @@ from .recalibrate import AdaptiveMonitoringSystem, BucketDriftDetector
 from .panes import PaneAggregator
 
 __all__ = [
+    "STREAM_KERNEL_MODES",
+    "stream_kernel_mode",
+    "set_stream_kernel_mode",
+    "use_stream_kernel_mode",
     "Trace",
     "Window",
     "TumblingWindows",

@@ -46,16 +46,27 @@ class Channel:
         self.upstream_bytes = 0
         self.downstream_bytes = 0
 
-    def send_histogram(self, message: HistogramMessage) -> List[Delivery]:
+    def send_histogram(
+        self, message: HistogramMessage, plan=None
+    ) -> List[Delivery]:
         """Monitor -> Control Center.
 
         Returns the copies that survive the link (empty when dropped;
         two entries when duplicated).  Each copy carries its arrival
         delay in windows.  Without a fault model this is always exactly
-        one immediate delivery.
+        one immediate delivery.  ``plan`` applies fault decisions drawn
+        earlier with :meth:`~.faults.FaultModel.plan_decisions` instead
+        of drawing fresh ones (used by the parallel ingest pool to keep
+        the serial draw order).
         """
         faults = self.faults
-        if faults is None:
+        if plan is not None:
+            transmissions, fates = plan
+            deliveries = [
+                Delivery(message, delay=delay, reorder=reorder)
+                for delay, reorder in fates
+            ]
+        elif faults is None:
             transmissions = 1
             deliveries = [Delivery(message)]
         else:

@@ -27,12 +27,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..algorithms.construct import build
+from ..core.compiled import CompiledEstimator
 from ..core.errors import DistributiveErrorMetric, PenaltyMetric
 from ..core.estimate import reconstruct_estimates
 from ..core.groups import GroupTable
 from ..core.hierarchy import PrunedHierarchy
 from ..core.partition import Histogram, PartitioningFunction
 from ..obs import get_registry, span
+from .kernels import stream_kernel_mode
 from .monitor import HistogramMessage
 
 __all__ = ["ControlCenter", "DecodedWindow", "STALE_POLICIES"]
@@ -197,6 +199,20 @@ class ControlCenter:
         aggregates are distributive: bucket-wise sums)."""
         return Histogram.merge(msg.histogram for msg in messages)
 
+    def _merge_and_estimate(self, usable: Sequence[HistogramMessage]):
+        """Merge one window's usable histograms and reconstruct the
+        per-group estimates.  Under the ``fast`` stream kernel mode the
+        reconstruction runs through the compiled gather/divide arrays
+        (:class:`~repro.core.compiled.CompiledEstimator`, cached per
+        install); estimates are bit-identical either way."""
+        merged = self.merge_histograms(usable)
+        if not usable:
+            return merged, np.zeros(len(self.table), dtype=np.float64)
+        if stream_kernel_mode() == "fast":
+            estimator = CompiledEstimator.for_pair(self.table, self.function)
+            return merged, estimator.estimate(merged)
+        return merged, reconstruct_estimates(self.table, self.function, merged)
+
     def decode_window(
         self,
         messages: Sequence[HistogramMessage],
@@ -242,14 +258,11 @@ class ControlCenter:
                 f"function (expected version {self.function_version})"
             )
         registry = get_registry()
-        with registry.timer("control.decode.duration").time():
-            merged = self.merge_histograms(usable)
-            if usable:
-                estimates = reconstruct_estimates(
-                    self.table, self.function, merged
-                )
-            else:
-                estimates = np.zeros(len(self.table), dtype=np.float64)
+        if registry.enabled:
+            with registry.timer("control.decode.duration").time():
+                merged, estimates = self._merge_and_estimate(usable)
+        else:
+            merged, estimates = self._merge_and_estimate(usable)
         monitors_reporting = len({m.monitor for m in usable})
         if expected_monitors is None:
             expected_monitors = len({m.monitor for m in messages})

@@ -160,6 +160,32 @@ class FaultModel:
         )
 
     # -- per-message decisions ---------------------------------------------
+    def plan_decisions(self) -> Tuple[int, List[Tuple[int, bool]]]:
+        """Draw one upstream send's fault decisions: ``(transmissions,
+        [(delay, reorder), ...])`` for the surviving copies.
+
+        The decisions depend only on the generator state — never on the
+        message — so a caller may draw them *before* the histogram is
+        computed and apply them afterwards
+        (:meth:`~.channel.Channel.send_histogram` accepts the pre-drawn
+        plan).  This is what lets the parallel ingest pool keep the
+        exact per-monitor draw order of the serial loop.
+        """
+        rng = self._rng
+        transmissions = 1
+        if self.duplicate and rng.random() < self.duplicate:
+            transmissions += 1
+        fates: List[Tuple[int, bool]] = []
+        for _ in range(transmissions):
+            if self.drop and rng.random() < self.drop:
+                continue
+            delay = 0
+            if self.delay and rng.random() < self.delay:
+                delay = int(rng.integers(1, self.max_delay_windows + 1))
+            reorder = bool(self.reorder and rng.random() < self.reorder)
+            fates.append((delay, reorder))
+        return transmissions, fates
+
     def plan_histogram(
         self, message: HistogramMessage
     ) -> Tuple[int, List[Delivery]]:
@@ -170,20 +196,11 @@ class FaultModel:
         charged by the channel) whether or not it survives; each copy
         is independently dropped, delayed, and reorder-flagged.
         """
-        rng = self._rng
-        transmissions = 1
-        if self.duplicate and rng.random() < self.duplicate:
-            transmissions += 1
-        deliveries: List[Delivery] = []
-        for _ in range(transmissions):
-            if self.drop and rng.random() < self.drop:
-                continue
-            delay = 0
-            if self.delay and rng.random() < self.delay:
-                delay = int(rng.integers(1, self.max_delay_windows + 1))
-            reorder = bool(self.reorder and rng.random() < self.reorder)
-            deliveries.append(Delivery(message, delay=delay, reorder=reorder))
-        return transmissions, deliveries
+        transmissions, fates = self.plan_decisions()
+        return transmissions, [
+            Delivery(message, delay=delay, reorder=reorder)
+            for delay, reorder in fates
+        ]
 
     def deliver_install(self) -> bool:
         """Whether one downstream function install survives the wire."""

@@ -25,9 +25,15 @@ from .windows import TumblingWindows, Window
 __all__ = ["exact_group_counts", "GroupedAggregationQuery"]
 
 
-def exact_group_counts(table: GroupTable, uids: Sequence[int]) -> np.ndarray:
-    """Exact per-group counts of a window (the join + group-by)."""
-    return table.counts_from_uids(uids)
+def exact_group_counts(
+    table: GroupTable,
+    uids: Sequence[int],
+    values: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Exact per-group aggregates of a window (the join + group-by):
+    ``count(*)`` per group, or ``sum(value)`` when a parallel per-tuple
+    ``values`` vector is given."""
+    return table.counts_from_uids(uids, values=values)
 
 
 class GroupedAggregationQuery:
@@ -48,7 +54,9 @@ class GroupedAggregationQuery:
 
     def run(self, trace: Trace) -> Iterator[Tuple[Window, np.ndarray]]:
         for window in self.windows.segment(trace):
-            yield window, exact_group_counts(self.table, window.uids)
+            yield window, exact_group_counts(
+                self.table, window.uids, values=window.values
+            )
 
     def answer_dict(self, uids: Sequence[int]) -> Dict[object, float]:
         """One window's answer keyed by application group id, nonzero

@@ -42,8 +42,9 @@ accuracy-per-bit story of the paper, measured rather than asserted.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -130,6 +131,7 @@ class MonitoringSystem:
         stale_policy: str = "strict",
         faults: Optional[FaultModel] = None,
         max_install_attempts: int = 64,
+        parallel: int = 1,
         **builder_options,
     ) -> None:
         if num_monitors < 1:
@@ -139,6 +141,8 @@ class MonitoringSystem:
                 f"max_install_attempts must be >= 1, got "
                 f"{max_install_attempts}"
             )
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
         self.table = table
         self.metric = metric
         self.control_center = ControlCenter(
@@ -150,6 +154,12 @@ class MonitoringSystem:
         self.faults = faults
         self.channel = Channel(table.domain, faults=faults)
         self.max_install_attempts = max_install_attempts
+        #: Worker threads partitioning monitor windows concurrently
+        #: (1 = the serial loop).  Results are identical either way:
+        #: partitioning is pure per-monitor work, and the fault RNG
+        #: draws stay in the serial per-monitor order (decisions are
+        #: drawn before the pool runs; see ``FaultModel.plan_decisions``).
+        self.parallel = parallel
 
     def train(self, history: Trace) -> None:
         """Build the partitioning function from past traffic and push it
@@ -160,7 +170,9 @@ class MonitoringSystem:
         up to ``max_install_attempts`` times per Monitor — every
         attempt is a charged wire transmission.
         """
-        counts = exact_group_counts(self.table, history.uids)
+        counts = exact_group_counts(
+            self.table, history.uids, values=history.values
+        )
         function = self.control_center.rebuild_function(counts)
         version = self.control_center.function_version
         for monitor in self.monitors:
@@ -204,6 +216,11 @@ class MonitoringSystem:
         installer = InstallScheduler()
         #: arrival tick -> deliveries landing there (delayed copies).
         in_flight: Dict[int, List[Delivery]] = {}
+        pool = (
+            ThreadPoolExecutor(max_workers=self.parallel)
+            if self.parallel > 1
+            else None
+        )
         try:
             shares = live.split(len(self.monitors), seed=split_seed)
             windows = TumblingWindows(window_width)
@@ -220,7 +237,12 @@ class MonitoringSystem:
                     upstream_before = self.channel.upstream_bytes
                     arrivals: List[Delivery] = list(in_flight.pop(w, []))
                     window_uids = []
+                    window_values = []
                     expected = 0
+                    # Phase 1 (sequential): ground truth, crash checks
+                    # and fault-plan draws, in monitor order — the RNG
+                    # consumes decisions exactly as the serial loop did.
+                    jobs: List[Tuple[Monitor, object, object]] = []
                     for monitor, segs in zip(self.monitors, segmented):
                         if w >= len(segs):
                             continue
@@ -230,6 +252,8 @@ class MonitoringSystem:
                         # it — that is what degradation is measured
                         # against.
                         window_uids.append(window.uids)
+                        if window.values is not None:
+                            window_values.append(window.values)
                         expected += 1
                         if faults is not None and faults.crashes(
                             monitor.name, w
@@ -245,10 +269,48 @@ class MonitoringSystem:
                             # Down since a crash; rejoins once the
                             # install scheduler reaches it.
                             continue
-                        msg = monitor.process_window(
-                            window.index, window.uids
+                        plan = (
+                            faults.plan_decisions()
+                            if faults is not None
+                            else None
                         )
-                        for delivery in self.channel.send_histogram(msg):
+                        jobs.append((monitor, window, plan))
+                    # Phase 2: partition every reporting Monitor's
+                    # window — pure per-monitor work, fanned out across
+                    # the pool when one is configured.
+                    if pool is not None and len(jobs) > 1:
+                        built = list(
+                            pool.map(
+                                lambda job: job[0]._build(
+                                    np.asarray(job[1].uids, dtype=np.int64),
+                                    job[1].values,
+                                ),
+                                jobs,
+                            )
+                        )
+                        messages = []
+                        for (monitor, window, _), hist in zip(jobs, built):
+                            monitor._account(
+                                1, int(window.uids.size), (hist,)
+                            )
+                            messages.append(
+                                monitor._message(window.index, hist)
+                            )
+                    else:
+                        messages = [
+                            monitor.process_window(
+                                window.index,
+                                window.uids,
+                                values=window.values,
+                            )
+                            for monitor, window, _ in jobs
+                        ]
+                    # Phase 3 (sequential): sends in monitor order,
+                    # applying the pre-drawn fault plans.
+                    for (monitor, window, plan), msg in zip(jobs, messages):
+                        for delivery in self.channel.send_histogram(
+                            msg, plan=plan
+                        ):
                             if delivery.delay == 0:
                                 arrivals.append(delivery)
                             else:
@@ -273,7 +335,14 @@ class MonitoringSystem:
                         # is nothing to ground-truth against, so skip.
                         continue
                     uids = np.concatenate(window_uids)
-                    actual = exact_group_counts(self.table, uids)
+                    vals = (
+                        np.concatenate(window_values)
+                        if len(window_values) == len(window_uids)
+                        else None
+                    )
+                    actual = exact_group_counts(
+                        self.table, uids, values=vals
+                    )
                     decoded = cc.decode_window(
                         on_time, expected_monitors=expected
                     )
@@ -320,6 +389,8 @@ class MonitoringSystem:
                 )
         finally:
             self.channel.faults = previous_faults
+            if pool is not None:
+                pool.shutdown(wait=True)
         report.upstream_bytes = self.channel.upstream_bytes
         report.function_bytes = self.channel.downstream_bytes
         if registry.enabled:

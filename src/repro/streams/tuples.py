@@ -1,14 +1,15 @@
 """Timestamped identifier streams.
 
 A :class:`Trace` is the column-wise representation of the paper's
-``UIDStream``: parallel arrays of timestamps and unique identifiers.
-Traces are what Monitors observe and what the windowing operators
-segment.
+``UIDStream``: parallel arrays of timestamps and unique identifiers,
+plus an optional per-tuple value column for weighted (``sum(value)``)
+aggregation — e.g. bytes per packet.  Traces are what Monitors observe
+and what the windowing operators segment.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,9 +17,14 @@ __all__ = ["Trace"]
 
 
 class Trace:
-    """A time-ordered stream of (timestamp, uid) observations."""
+    """A time-ordered stream of (timestamp, uid[, value]) observations."""
 
-    def __init__(self, timestamps: Sequence[float], uids: Sequence[int]):
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        uids: Sequence[int],
+        values: Optional[Sequence[float]] = None,
+    ):
         self.timestamps = np.asarray(timestamps, dtype=np.float64)
         self.uids = np.asarray(uids, dtype=np.int64)
         if self.timestamps.shape != self.uids.shape:
@@ -26,16 +32,35 @@ class Trace:
                 f"timestamps {self.timestamps.shape} and uids "
                 f"{self.uids.shape} must be parallel"
             )
+        self.values: Optional[np.ndarray]
+        if values is None:
+            self.values = None
+        else:
+            self.values = np.asarray(values, dtype=np.float64)
+            if self.values.shape != self.uids.shape:
+                raise ValueError(
+                    f"values {self.values.shape} and uids "
+                    f"{self.uids.shape} must be parallel"
+                )
         if self.timestamps.size and np.any(np.diff(self.timestamps) < 0):
             order = np.argsort(self.timestamps, kind="stable")
             self.timestamps = self.timestamps[order]
             self.uids = self.uids[order]
+            if self.values is not None:
+                self.values = self.values[order]
 
     @classmethod
-    def untimed(cls, uids: Sequence[int], rate: float = 1.0) -> "Trace":
+    def untimed(
+        cls,
+        uids: Sequence[int],
+        rate: float = 1.0,
+        values: Optional[Sequence[float]] = None,
+    ) -> "Trace":
         """A trace with synthetic evenly-spaced timestamps."""
         uids = np.asarray(uids, dtype=np.int64)
-        return cls(np.arange(uids.size, dtype=np.float64) / rate, uids)
+        return cls(
+            np.arange(uids.size, dtype=np.float64) / rate, uids, values
+        )
 
     def __len__(self) -> int:
         return int(self.uids.size)
@@ -50,7 +75,11 @@ class Trace:
         """Observations with timestamps in ``[start, end)``."""
         lo = int(np.searchsorted(self.timestamps, start, side="left"))
         hi = int(np.searchsorted(self.timestamps, end, side="left"))
-        return Trace(self.timestamps[lo:hi], self.uids[lo:hi])
+        return Trace(
+            self.timestamps[lo:hi],
+            self.uids[lo:hi],
+            None if self.values is None else self.values[lo:hi],
+        )
 
     def split(self, shares: int, seed: int = 0) -> Tuple["Trace", ...]:
         """Randomly partition the trace across ``shares`` observers —
@@ -60,7 +89,11 @@ class Trace:
         rng = np.random.default_rng(seed)
         owner = rng.integers(0, shares, size=len(self))
         return tuple(
-            Trace(self.timestamps[owner == s], self.uids[owner == s])
+            Trace(
+                self.timestamps[owner == s],
+                self.uids[owner == s],
+                None if self.values is None else self.values[owner == s],
+            )
             for s in range(shares)
         )
 

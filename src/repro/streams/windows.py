@@ -9,7 +9,7 @@ per period) and overlapping sliding windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -20,13 +20,14 @@ __all__ = ["Window", "TumblingWindows", "SlidingWindows"]
 
 @dataclass(frozen=True)
 class Window:
-    """One window of a stream: its time extent and the identifiers in
-    it."""
+    """One window of a stream: its time extent, the identifiers in it
+    and (for weighted streams) their parallel per-tuple values."""
 
     index: int
     start: float
     end: float
     uids: np.ndarray
+    values: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return int(self.uids.size)
@@ -50,7 +51,7 @@ class TumblingWindows:
         while start <= t_end:
             end = start + self.width
             piece = trace.slice_time(start, end)
-            yield Window(index, start, end, piece.uids)
+            yield Window(index, start, end, piece.uids, piece.values)
             index += 1
             start = end
 
@@ -77,6 +78,8 @@ class SlidingWindows:
         start = t0
         while start <= t_end:
             piece = trace.slice_time(start, start + self.width)
-            yield Window(index, start, start + self.width, piece.uids)
+            yield Window(
+                index, start, start + self.width, piece.uids, piece.values
+            )
             index += 1
             start = t0 + index * self.slide

@@ -8,6 +8,11 @@ The contract under test, for random seeded traces and fault configs:
     Center dedups by ``(monitor, window_index, function_version)``);
 (c) drop-only faults keep every per-window error finite and report
     ``monitors_reporting`` exactly.
+
+Each property is exercised for both the count(*) pipeline and the
+weighted ``sum(value)`` pipeline (traces carrying a per-tuple value
+column) — bucket aggregation, merging, decode and ground truth must all
+honour the weights under faults, not just on the clean path.
 """
 
 import numpy as np
@@ -130,6 +135,82 @@ class TestDropOnly:
             assert w.monitors_reporting == len(
                 survivors.get(w.window_index, set())
             )
+
+
+@pytest.fixture(scope="module")
+def weighted_workload():
+    dom = UIDDomain(8)
+    table = generate_subnet_table(dom, seed=21)
+    ts, uids = generate_timestamped_trace(
+        table, 4000, duration=24.0, seed=22,
+        model=TrafficModel(active_fraction=0.2, zipf_exponent=1.1),
+    )
+    values = np.random.default_rng(23).lognormal(
+        mean=2.0, sigma=1.0, size=uids.size
+    )
+    trace = Trace(ts, uids, values)
+    return table, trace.slice_time(0, 12), trace.slice_time(12, 24)
+
+
+class TestWeightedValuesUnderFaults:
+    """The satellite contract: sum(value) aggregation end-to-end —
+    Monitor weighting, merge, decode and weighted ground truth — holds
+    under the same fault properties as count(*)."""
+
+    def test_weights_reach_histograms(self, weighted_workload):
+        table, history, live = weighted_workload
+        system, report = _run(table, history, live, faults=None)
+        # Histogram totals are sums of tuple values, not tuple counts —
+        # for a lognormal value column the two cannot coincide.
+        totals = sum(m.histogram.total for m in system.channel.messages)
+        tuples = sum(w.tuples for w in report.windows)
+        assert totals == pytest.approx(float(np.sum(live.values)))
+        assert abs(totals - tuples) > 1.0
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_zero_fault_identity(self, weighted_workload, seed):
+        table, history, live = weighted_workload
+        _clean_sys, clean = _run(table, history, live, faults=None)
+        _faulty_sys, faulty = _run(
+            table, history, live, faults=FaultModel(seed=seed)
+        )
+        assert faulty.windows == clean.windows
+        assert faulty.upstream_bytes == clean.upstream_bytes
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        dup=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_duplicates_never_double_weights(
+        self, weighted_workload, dup, seed
+    ):
+        table, history, live = weighted_workload
+        _clean_sys, clean = _run(table, history, live, faults=None)
+        _faulty_sys, faulty = _run(
+            table, history, live, faults=FaultModel(duplicate=dup, seed=seed)
+        )
+        assert [w.error for w in faulty.windows] == [
+            w.error for w in clean.windows
+        ]
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_drops_keep_weighted_errors_finite(
+        self, weighted_workload, drop, seed
+    ):
+        table, history, live = weighted_workload
+        system, report = _run(
+            table, history, live, faults=FaultModel(drop=drop, seed=seed)
+        )
+        assert report.windows
+        for w in report.windows:
+            assert np.isfinite(w.error)
+            assert 0 <= w.monitors_reporting <= len(system.monitors)
 
 
 class TestFaultModelUnit:
