@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""CI smoke for the live observability plane.
+
+Launches ``repro simulate`` as a subprocess with the metrics endpoint,
+the event journal and the periodic metrics writer all enabled, then:
+
+1. polls ``/metrics`` **while the run executes** until the per-window
+   quality gauges appear, and validates the scrape as Prometheus
+   exposition text (every line parses; ``# TYPE``/``# HELP`` exactly
+   once per family, before its first sample);
+2. fetches ``/series.json`` and checks the per-window records;
+3. waits for the run to finish and replays the journal with
+   ``repro replay``, requiring the replayed summary to match the live
+   run's summary byte for byte.
+
+Exits nonzero (with a diagnostic) on any failure; CI uploads the
+journal as an artifact in that case.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+PORT = 9105
+URL = f"http://127.0.0.1:{PORT}"
+JOURNAL = "ci_smoke.journal"
+METRICS = "ci_smoke.jsonl"
+
+SIMULATE = [
+    sys.executable, "-m", "repro", "simulate",
+    "--height", "12", "--packets", "400000", "--windows", "8",
+    "--monitors", "4", "--budget", "60",
+    "--faults", "drop=0.1,dup=0.05,delay=0.1,crash=0.02,seed=7",
+    "--stale-policy", "rescale",
+    "--journal", JOURNAL,
+    "--metrics", METRICS, "--metrics-interval", "0.2",
+    "--serve-metrics", f"127.0.0.1:{PORT}",
+    "--serve-linger", "10",
+]
+
+QUALITY_GAUGES = (
+    "quality_coverage",
+    "quality_spill_fraction",
+    "quality_drift_score",
+    "quality_occupancy_entropy",
+)
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z0-9_]+="(?:\\.|[^"\\])*"'
+    r'(,[a-zA-Z0-9_]+="(?:\\.|[^"\\])*")*\})? -?\S+$'
+)
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_exposition(text: str) -> None:
+    """Every line must be a comment or a well-formed sample; headers
+    exactly once per family, before the family's samples."""
+    typed = {}
+    sampled = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"metrics line {lineno}: empty line in exposition")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            name, kind = parts[2], parts[3]
+            if name in typed:
+                fail(f"metrics line {lineno}: duplicate # TYPE {name}")
+            if name in sampled:
+                fail(f"metrics line {lineno}: # TYPE {name} after samples")
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(f"metrics line {lineno}: bad TYPE kind {kind!r}")
+            typed[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            fail(f"metrics line {lineno}: unknown comment {line!r}")
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"metrics line {lineno}: unparseable sample {line!r}")
+        sampled.add(line.split("{", 1)[0].split(" ", 1)[0])
+    for name in QUALITY_GAUGES:
+        if typed.get(name) != "gauge":
+            fail(f"quality gauge {name} missing or not a gauge")
+
+
+def get(path: str, timeout: float = 2.0) -> str:
+    with urllib.request.urlopen(f"{URL}{path}", timeout=timeout) as resp:
+        return resp.read().decode("utf-8")
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        SIMULATE, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    scraped = None
+    series_len = 0
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                early_out, early_err = proc.communicate()
+                print(
+                    "FAIL: simulate exited before /metrics showed "
+                    f"quality gauges (rc={proc.returncode})\n"
+                    f"--- stdout\n{early_out}\n--- stderr\n{early_err}",
+                    file=sys.stderr,
+                )
+                return 1
+            try:
+                text = get("/metrics")
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.05)
+                continue
+            if all(f"# TYPE {g} gauge" in text for g in QUALITY_GAUGES):
+                scraped = text
+                break
+            time.sleep(0.05)
+        if scraped is None:
+            fail("timed out waiting for quality gauges on /metrics")
+        validate_exposition(scraped)
+        print(
+            f"scraped /metrics mid-run: {len(scraped.splitlines())} lines, "
+            "exposition valid, quality gauges present"
+        )
+        series = json.loads(get("/series.json"))
+        series_len = len(series)
+        if not series:
+            fail("/series.json empty while windows were decoding")
+        rec = series[-1]
+        for key in ("window", "ts", "counters", "gauges"):
+            if key not in rec:
+                fail(f"series record missing {key!r}: {rec}")
+        print(f"/series.json: {series_len} per-window records")
+        out, err = proc.communicate(timeout=180)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        fail("simulate did not exit in time")
+    except BaseException:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        raise
+    if proc.returncode != 0:
+        fail(f"simulate failed (rc={proc.returncode})\n{err}")
+    live_summary = out
+
+    replay = subprocess.run(
+        [sys.executable, "-m", "repro", "replay", JOURNAL],
+        capture_output=True, text=True,
+    )
+    if replay.returncode != 0:
+        fail(f"replay failed (rc={replay.returncode})\n{replay.stderr}")
+    if replay.stdout != live_summary:
+        fail(
+            "replayed summary differs from the live run\n"
+            f"--- live\n{live_summary}\n--- replayed\n{replay.stdout}"
+        )
+    print("replay reproduced the live run summary byte-for-byte")
+    print("metrics smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,22 @@ Subcommands::
     python -m repro inspect   fn.bin
     python -m repro simulate  --height 14 --algorithm overlapping \\
                               --budget 60 --monitors 4 \\
-                              --faults drop=0.1,dup=0.05,seed=7
-    python -m repro stats     run.jsonl
+                              --faults drop=0.1,dup=0.05,seed=7 \\
+                              --journal run.journal \\
+                              --serve-metrics :9100
+    python -m repro stats     run.jsonl [--watch]
+    python -m repro replay    run.journal
+    python -m repro top       run.journal | http://127.0.0.1:9100
 
 Every subcommand accepts ``--metrics PATH`` (and ``--metrics-format
 {json,csv,prom}``) to capture construction/pipeline instrumentation to
-a file; ``repro stats`` pretty-prints a captured JSON-lines file.
+a file; ``repro stats`` pretty-prints a captured JSON-lines file
+(``--watch`` re-renders as the file grows).  ``simulate`` additionally
+exposes the live surfaces: ``--journal`` records every pipeline event
+(replayable with ``repro replay``), ``--serve-metrics`` serves
+Prometheus text at ``/metrics`` mid-run, ``--metrics-interval``
+re-writes the metrics file periodically, and ``repro top`` renders an
+in-terminal dashboard over either surface.
 
 Run ``python -m repro <subcommand> --help`` for the full flag set.
 """
@@ -30,7 +40,10 @@ Run ``python -m repro <subcommand> --help`` for the full flag set.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from contextlib import ExitStack
 from typing import List, Optional
 
 import numpy as np
@@ -54,9 +67,18 @@ from .data import TrafficModel, generate_subnet_table, generate_trace
 from .data.traffic import generate_timestamped_trace
 from .obs import (
     EXPORT_FORMATS,
+    EventJournal,
     MetricsRegistry,
+    MetricsServer,
+    PeriodicMetricsWriter,
+    get_registry,
     load_jsonl,
+    load_state,
+    parse_serve_spec,
+    read_journal,
     render_summary,
+    render_top,
+    use_journal,
     use_registry,
     write_metrics,
 )
@@ -66,6 +88,7 @@ from .streams import (
     FaultModel,
     MonitoringSystem,
     Trace,
+    replay_system_report,
     use_stream_kernel_mode,
 )
 
@@ -166,7 +189,49 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_report(
+    report,
+    metric_name: str,
+    monitors: Optional[int],
+    degraded: bool,
+) -> None:
+    """The run summary, shared by ``simulate`` and ``replay``."""
+    print(f"windows decoded   : {len(report.windows)}")
+    print(f"mean {metric_name} error: {report.mean_error:.4g}")
+    print(f"histogram bytes   : {report.upstream_bytes}")
+    print(f"function bytes    : {report.function_bytes}")
+    print(f"raw-stream bytes  : {report.raw_bytes}")
+    print(f"compression ratio : {report.compression_ratio:.1f}x")
+    if degraded:
+        reporting = [w.monitors_reporting for w in report.windows]
+        of = monitors if monitors is not None else "?"
+        print(f"monitors reporting: min {min(reporting, default=0)} / "
+              f"mean {float(np.mean(reporting)) if reporting else 0.0:.2f} "
+              f"of {of}")
+        print("duplicates dropped: "
+              f"{sum(w.duplicates_dropped for w in report.windows)}")
+        print("stale messages    : "
+              f"{sum(w.stale_messages for w in report.windows)}")
+        print("late messages     : "
+              f"{sum(w.late_messages for w in report.windows)}")
+        print(f"monitor crashes   : {report.monitor_crashes}")
+        print(f"expired in flight : {report.expired_messages}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.metrics_interval is not None and not args.metrics:
+        print(
+            "error: --metrics-interval needs --metrics PATH to write to",
+            file=sys.stderr,
+        )
+        return 2
+    serve_addr = None
+    if args.serve_metrics:
+        try:
+            serve_addr = parse_serve_spec(args.serve_metrics)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     domain = UIDDomain(args.height)
     table = generate_subnet_table(domain, seed=args.seed)
     ts, uids = generate_timestamped_trace(
@@ -188,42 +253,117 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         stale_policy=args.stale_policy, faults=faults,
         parallel=args.parallel,
     )
-    with use_stream_kernel_mode(args.stream_kernels):
-        system.train(trace.slice_time(0, half))
-        report = system.run(
-            trace.slice_time(half, args.duration),
-            window_width=half / max(1, args.windows),
-        )
-    print(f"windows decoded   : {len(report.windows)}")
-    print(f"mean {args.metric} error: {report.mean_error:.4g}")
-    print(f"histogram bytes   : {report.upstream_bytes}")
-    print(f"function bytes    : {report.function_bytes}")
-    print(f"raw-stream bytes  : {report.raw_bytes}")
-    print(f"compression ratio : {report.compression_ratio:.1f}x")
-    if faults is not None:
-        reporting = [w.monitors_reporting for w in report.windows]
-        print(f"monitors reporting: min {min(reporting, default=0)} / "
-              f"mean {float(np.mean(reporting)) if reporting else 0.0:.2f} "
-              f"of {args.monitors}")
-        print("duplicates dropped: "
-              f"{sum(w.duplicates_dropped for w in report.windows)}")
-        print("stale messages    : "
-              f"{sum(w.stale_messages for w in report.windows)}")
-        print("late messages     : "
-              f"{sum(w.late_messages for w in report.windows)}")
-        print(f"monitor crashes   : {report.monitor_crashes}")
-        print(f"expired in flight : {report.expired_messages}")
+    with ExitStack() as stack:
+        if args.journal:
+            stack.enter_context(use_journal(EventJournal(args.journal)))
+        if serve_addr is not None:
+            server = stack.enter_context(
+                MetricsServer(get_registry(), *serve_addr)
+            )
+            print(
+                f"serving metrics at {server.url}/metrics",
+                file=sys.stderr,
+            )
+        if args.metrics_interval is not None:
+            stack.enter_context(
+                PeriodicMetricsWriter(
+                    get_registry(), args.metrics,
+                    fmt=args.metrics_format,
+                    interval=args.metrics_interval,
+                )
+            )
+        with use_stream_kernel_mode(args.stream_kernels):
+            system.train(trace.slice_time(0, half))
+            report = system.run(
+                trace.slice_time(half, args.duration),
+                window_width=half / max(1, args.windows),
+            )
+        _print_report(report, args.metric, args.monitors, faults is not None)
+        if serve_addr is not None and args.serve_linger > 0:
+            # Keep /metrics scrapeable after the run (CI smoke, manual
+            # inspection of a short run).
+            sys.stdout.flush()
+            time.sleep(args.serve_linger)
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
+def _cmd_replay(args: argparse.Namespace) -> int:
     try:
-        records = load_jsonl(args.metrics_file)
+        events = read_journal(args.journal)
+        report = replay_system_report(events)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    sys.stdout.write(render_summary(records))
+    run_start = next(
+        (e for e in events if e.get("event") == "run_start"), None
+    )
+    metric_name = (run_start or {}).get("metric") or "?"
+    monitors = (run_start or {}).get("monitors")
+    degraded = bool((run_start or {}).get("faults"))
+    _print_report(report, metric_name, monitors, degraded)
     return 0
+
+
+_CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    refreshes = 0
+    try:
+        while True:
+            try:
+                state = load_state(args.source)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if refreshes and sys.stdout.isatty():
+                sys.stdout.write(_CLEAR_SCREEN)
+            sys.stdout.write(render_top(state, max_rows=args.rows))
+            sys.stdout.flush()
+            refreshes += 1
+            if args.once or state.finished:
+                return 0
+            if args.max_refreshes and refreshes >= args.max_refreshes:
+                return 0
+            time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if not args.watch:
+        try:
+            records = load_jsonl(args.metrics_file)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(render_summary(records))
+        return 0
+    renders = 0
+    last_size = -1
+    try:
+        while True:
+            try:
+                size = os.path.getsize(args.metrics_file)
+            except OSError:
+                size = -1  # not written yet; keep waiting
+            if size >= 0 and size != last_size:
+                try:
+                    records = load_jsonl(args.metrics_file)
+                except (OSError, ValueError):
+                    records = None  # mid-write; retry next tick
+                if records is not None:
+                    last_size = size
+                    if renders and sys.stdout.isatty():
+                        sys.stdout.write(_CLEAR_SCREEN)
+                    sys.stdout.write(render_summary(records))
+                    sys.stdout.flush()
+                    renders += 1
+            if args.watch_max and renders >= args.watch_max:
+                return 0
+            time.sleep(args.watch_interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -311,25 +451,75 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="partitioning worker threads across monitors "
                    "(default 1 = serial; results are identical)")
+    s.add_argument("--journal", metavar="PATH", default=None,
+                   help="record every pipeline event (installs, faults, "
+                   "decodes) as JSON lines; replay with 'repro replay'")
+    s.add_argument("--serve-metrics", metavar="[HOST]:PORT", default=None,
+                   help="serve live Prometheus text at /metrics (and the "
+                   "per-window series at /series.json) while the run "
+                   "executes, e.g. ':9100'")
+    s.add_argument("--serve-linger", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="keep the metrics endpoint up this long after "
+                   "the run finishes (default 0)")
+    s.add_argument("--metrics-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="re-write the --metrics file every SECONDS while "
+                   "the run executes (final state is always written)")
     s.set_defaults(func=_cmd_simulate)
 
     st = sub.add_parser("stats",
                         help="pretty-print a captured metrics file")
     st.add_argument("metrics_file",
                     help="JSON-lines file written by --metrics")
+    st.add_argument("--watch", action="store_true",
+                    help="keep re-rendering as the file grows (for "
+                    "'simulate --metrics-interval' runs); Ctrl-C to stop")
+    st.add_argument("--watch-interval", type=float, default=0.5,
+                    metavar="SECONDS",
+                    help="polling interval for --watch (default 0.5)")
+    st.add_argument("--watch-max", type=int, default=0, metavar="N",
+                    help="stop --watch after N renders (0 = run until "
+                    "interrupted)")
     st.set_defaults(func=_cmd_stats)
+
+    r = sub.add_parser("replay",
+                       help="reconstruct and print a run summary from an "
+                       "event journal (no re-simulation)")
+    r.add_argument("journal", help="journal written by simulate --journal")
+    r.set_defaults(func=_cmd_replay)
+
+    t = sub.add_parser("top",
+                       help="in-terminal dashboard over a live run "
+                       "(journal file or metrics-server URL)")
+    t.add_argument("source",
+                   help="journal path, or metrics-server base URL like "
+                   "http://127.0.0.1:9100")
+    t.add_argument("--refresh", type=float, default=2.0, metavar="SECONDS",
+                   help="refresh interval (default 2)")
+    t.add_argument("--once", action="store_true",
+                   help="render one frame and exit")
+    t.add_argument("--rows", type=int, default=12, metavar="N",
+                   help="window rows to show (default 12, most recent)")
+    t.add_argument("--max-refreshes", type=int, default=0, metavar="N",
+                   help="exit after N frames (0 = until run_end/Ctrl-C)")
+    t.set_defaults(func=_cmd_top)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     metrics_path = getattr(args, "metrics", None)
-    if not metrics_path:
+    serving = getattr(args, "serve_metrics", None)
+    if not metrics_path and not serving:
         return args.func(args)
+    # A live registry is needed both to capture to a file and to serve
+    # /metrics; the file is only written when a path was given.
     registry = MetricsRegistry()
     with use_registry(registry):
         rc = args.func(args)
-    write_metrics(registry, metrics_path, args.metrics_format)
+    if metrics_path:
+        write_metrics(registry, metrics_path, args.metrics_format)
     return rc
 
 

@@ -35,11 +35,40 @@ from .export import (
     load_jsonl,
     registry_records,
     render_summary,
+    render_span_tree,
     to_csv,
     to_jsonl,
     to_prometheus,
     write_metrics,
 )
+from .snapshots import (
+    RegistrySnapshot,
+    bucket_quantile,
+    emit_window_record,
+    snapshot_delta,
+    take_snapshot,
+)
+from .quality import (
+    QUALITY_GAUGES,
+    QualityTracker,
+    WindowQuality,
+    drift_score,
+    normalized_distribution,
+    occupancy_entropy,
+    occupancy_skew,
+    total_variation,
+)
+from .journal import (
+    NULL_JOURNAL,
+    EventJournal,
+    NullJournal,
+    get_journal,
+    read_journal,
+    set_journal,
+    use_journal,
+)
+from .server import MetricsServer, PeriodicMetricsWriter, parse_serve_spec
+from .top import TopState, load_state, render_top
 
 __all__ = [
     # registry
@@ -67,4 +96,35 @@ __all__ = [
     "write_metrics",
     "load_jsonl",
     "render_summary",
+    "render_span_tree",
+    # windowed snapshots
+    "RegistrySnapshot",
+    "take_snapshot",
+    "snapshot_delta",
+    "emit_window_record",
+    "bucket_quantile",
+    # quality signals
+    "WindowQuality",
+    "QualityTracker",
+    "QUALITY_GAUGES",
+    "normalized_distribution",
+    "total_variation",
+    "drift_score",
+    "occupancy_entropy",
+    "occupancy_skew",
+    # event journal
+    "EventJournal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "get_journal",
+    "set_journal",
+    "use_journal",
+    "read_journal",
+    # live surfaces
+    "MetricsServer",
+    "PeriodicMetricsWriter",
+    "parse_serve_spec",
+    "TopState",
+    "load_state",
+    "render_top",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from .registry import (
     Counter,
@@ -42,6 +42,7 @@ __all__ = [
     "write_metrics",
     "load_jsonl",
     "render_summary",
+    "render_span_tree",
     "EXPORT_FORMATS",
 ]
 
@@ -131,6 +132,23 @@ def _prom_name(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash and
+    newline only; quotes are legal in HELP)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
     merged = dict(labels)
     if extra:
@@ -138,9 +156,24 @@ def _prom_labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
     if not merged:
         return ""
     body = ",".join(
-        f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items())
+        f'{_prom_name(k)}="{_prom_escape_label(v)}"'
+        for k, v in sorted(merged.items())
     )
     return "{" + body + "}"
+
+
+def _prom_header(
+    lines: List[str], seen: set, name: str, raw_name: str, kind: str
+) -> None:
+    """Emit ``# HELP`` and ``# TYPE`` exactly once per metric family,
+    before its first sample."""
+    if name in seen:
+        return
+    seen.add(name)
+    lines.append(
+        f"# HELP {name} {_prom_escape_help(f'repro metric {raw_name}')}"
+    )
+    lines.append(f"# TYPE {name} {kind}")
 
 
 def to_prometheus(registry: MetricsRegistry) -> str:
@@ -150,9 +183,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         name = _prom_name(inst.name)
         labels = dict(inst.labels)
         if isinstance(inst, HistogramInstrument):
-            if name not in typed:
-                lines.append(f"# TYPE {name} histogram")
-                typed.add(name)
+            _prom_header(lines, typed, name, inst.name, "histogram")
             acc = 0
             for bound, n in zip(inst.bounds, inst.bucket_counts):
                 acc += n
@@ -169,9 +200,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"{name}_count{_prom_labels(labels)} {inst.count}")
         else:
             prom_kind = "counter" if kind == "counter" else "gauge"
-            if name not in typed:
-                lines.append(f"# TYPE {name} {prom_kind}")
-                typed.add(name)
+            _prom_header(lines, typed, name, inst.name, prom_kind)
             lines.append(f"{name}{_prom_labels(labels)} {inst.value}")
     return "\n".join(lines) + ("\n" if lines else "")
 
@@ -262,20 +291,58 @@ def render_summary(records: Iterable[Dict]) -> str:
             )
     if spans:
         out.append("spans")
-        rollup: Dict[str, List[float]] = {}
-        order: List[str] = []
-        for r in spans:
-            if r["name"] not in rollup:
-                rollup[r["name"]] = []
-                order.append(r["name"])
-            rollup[r["name"]].append(float(r["duration"]))
-        for name in order:
-            durs = rollup[name]
-            out.append(
-                f"  {name:<48} count={len(durs)}"
-                f" total={_fmt_seconds(sum(durs))}"
-                f" mean={_fmt_seconds(sum(durs) / len(durs))}"
-            )
+        out.extend(render_span_tree(spans))
     if not out:
         return "no metrics recorded\n"
     return "\n".join(out) + "\n"
+
+
+def render_span_tree(spans: Iterable[Dict]) -> List[str]:
+    """Span rollup lines with parent/child indentation.
+
+    Spans are aggregated by name; each name is placed under its
+    *first-seen* parent (a name recorded under several parents — e.g.
+    ``control.rebuild`` both at train time and inside ``system.run``
+    during recalibration — appears once, where it first showed up).
+    Names whose parent never appears as a span name render as roots.
+    """
+    rollup: Dict[str, List[float]] = {}
+    order: List[str] = []
+    parent_of: Dict[str, Optional[str]] = {}
+    for r in spans:
+        name = r["name"]
+        if name not in rollup:
+            rollup[name] = []
+            order.append(name)
+            parent_of[name] = r.get("parent")
+        rollup[name].append(float(r["duration"]))
+    children: Dict[str, List[str]] = {}
+    roots: List[str] = []
+    for name in order:
+        parent = parent_of[name]
+        if parent is None or parent not in rollup or parent == name:
+            roots.append(name)
+        else:
+            children.setdefault(parent, []).append(name)
+    lines: List[str] = []
+    seen = set()
+
+    def emit(name: str, depth: int) -> None:
+        if name in seen:  # cycle guard (malformed parent chains)
+            return
+        seen.add(name)
+        durs = rollup[name]
+        label = "  " * depth + name
+        lines.append(
+            f"  {label:<48} count={len(durs)}"
+            f" total={_fmt_seconds(sum(durs))}"
+            f" mean={_fmt_seconds(sum(durs) / len(durs))}"
+        )
+        for child in children.get(name, ()):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    for name in order:  # anything unreachable (defensive)
+        emit(name, 0)
+    return lines

@@ -1,0 +1,182 @@
+"""Online decode-quality signals — no ground truth required.
+
+The paper's accuracy metrics (Section 2.2.4) need the exact per-group
+answer, which the Control Center never has while a run is live.  This
+module computes the signals it *can* watch from the decoded histogram
+stream alone, per window:
+
+* **spill fraction** — share of traffic that matched no bucket and
+  landed in the trash bin (``Histogram.unmatched``); a rising spill
+  means the installed function no longer spans live traffic.
+* **occupancy entropy** — Shannon entropy of the per-bucket
+  distribution, normalized by ``log2(num_buckets)`` into ``[0, 1]``;
+  a well-fitted function spreads mass (entropy near 1), a collapsed
+  one funnels it into few buckets.
+* **occupancy skew** — largest bucket share over the uniform share
+  (``max_p * num_buckets``); the peak-to-uniform ratio complementing
+  entropy (1.0 = perfectly even).
+* **coverage** — reporting monitors over expected monitors (already a
+  decode output; re-exported here so every signal rides one gauge
+  family).
+* **duplicate / stale rates** — redundant and stale-version deliveries
+  as a fraction of the window's messages.
+* **drift score** — the :class:`~repro.streams.recalibrate.
+  BucketDriftDetector` quantity: total-variation distance between the
+  window's normalized bucket distribution and a reference distribution
+  (re-anchored whenever the function version changes), plus the
+  unmatched fraction.  The detector itself delegates to the helpers
+  here, so the gauge and the recalibration trigger agree by
+  construction.
+
+:class:`QualityTracker` bundles the per-window computation and the
+reference bookkeeping; ``ControlCenter.decode_window`` owns one and
+exports each signal as a ``quality.*`` gauge.  Pure stdlib — this
+module must stay importable from anywhere (it sits below the streams
+layer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, Optional
+
+__all__ = [
+    "WindowQuality",
+    "QualityTracker",
+    "normalized_distribution",
+    "total_variation",
+    "drift_score",
+    "occupancy_entropy",
+    "occupancy_skew",
+    "QUALITY_GAUGES",
+]
+
+
+@dataclass(frozen=True)
+class WindowQuality:
+    """One window's online quality signals (see module docstring)."""
+
+    spill_fraction: float = 0.0
+    occupancy_entropy: float = 0.0
+    occupancy_skew: float = 0.0
+    coverage: float = 0.0
+    duplicate_rate: float = 0.0
+    stale_rate: float = 0.0
+    drift_score: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Gauge family exported per signal: ``quality.<field>``.
+QUALITY_GAUGES = tuple(
+    f"quality.{f.name}" for f in fields(WindowQuality)
+)
+
+
+def normalized_distribution(
+    counts: Dict[int, float], unmatched: float = 0.0
+) -> Dict[int, float]:
+    """Per-bucket probability mass (unmatched traffic in the
+    denominator but carrying no bucket); ``{}`` for an empty window."""
+    total = sum(counts.values()) + unmatched
+    if total <= 0:
+        return {}
+    return {node: c / total for node, c in counts.items()}
+
+
+def total_variation(a: Dict[int, float], b: Dict[int, float]) -> float:
+    """Total-variation distance between two bucket distributions."""
+    nodes = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(n, 0.0) - b.get(n, 0.0)) for n in nodes)
+
+
+def drift_score(
+    reference: Dict[int, float],
+    counts: Dict[int, float],
+    unmatched: float = 0.0,
+) -> float:
+    """The drift-detector quantity for one window against a reference
+    distribution: TV distance plus the unmatched-traffic fraction."""
+    current = normalized_distribution(counts, unmatched)
+    total = sum(counts.values()) + unmatched
+    unmatched_fraction = unmatched / total if total > 0 else 0.0
+    return total_variation(reference, current) + unmatched_fraction
+
+
+def occupancy_entropy(
+    values: Iterable[float], num_buckets: int
+) -> float:
+    """Normalized Shannon entropy of the matched-bucket occupancy
+    (``0`` for an empty window or a single-bucket function)."""
+    values = [v for v in values if v > 0]
+    total = sum(values)
+    if total <= 0 or num_buckets <= 1:
+        return 0.0
+    entropy = 0.0
+    for v in values:
+        p = v / total
+        entropy -= p * math.log2(p)
+    return entropy / math.log2(num_buckets)
+
+
+def occupancy_skew(values: Iterable[float], num_buckets: int) -> float:
+    """Peak-to-uniform occupancy ratio: the largest bucket's share of
+    matched traffic times the bucket count (``0`` when empty)."""
+    values = [v for v in values if v > 0]
+    total = sum(values)
+    if total <= 0 or num_buckets <= 0:
+        return 0.0
+    return max(values) / total * num_buckets
+
+
+class QualityTracker:
+    """Per-decoder quality bookkeeping.
+
+    Holds the drift reference distribution — anchored to the first
+    window decoded under each function version, exactly like
+    :class:`~repro.streams.recalibrate.BucketDriftDetector` — and
+    produces one :class:`WindowQuality` per decoded window.
+    """
+
+    def __init__(self) -> None:
+        self._reference: Optional[Dict[int, float]] = None
+        self._version: Optional[int] = None
+        self.last: Optional[WindowQuality] = None
+
+    def observe(
+        self,
+        counts: Dict[int, float],
+        unmatched: float,
+        num_buckets: int,
+        version: int,
+        coverage: float,
+        messages: int,
+        duplicates: int,
+        stale: int,
+    ) -> WindowQuality:
+        """Score one decoded window's merged histogram."""
+        if version != self._version:
+            self._reference = None
+            self._version = version
+        matched = sum(counts.values())
+        total = matched + unmatched
+        if self._reference is None:
+            self._reference = normalized_distribution(counts, unmatched)
+            drift = 0.0
+        else:
+            drift = drift_score(self._reference, counts, unmatched)
+        quality = WindowQuality(
+            spill_fraction=unmatched / total if total > 0 else 0.0,
+            occupancy_entropy=occupancy_entropy(
+                counts.values(), num_buckets
+            ),
+            occupancy_skew=occupancy_skew(counts.values(), num_buckets),
+            coverage=coverage,
+            duplicate_rate=duplicates / messages if messages else 0.0,
+            stale_rate=stale / messages if messages else 0.0,
+            drift_score=drift,
+        )
+        self.last = quality
+        return quality

@@ -11,8 +11,12 @@ constraints, in order:
 2. **No dependencies.**  Plain stdlib (``threading``, ``time``); the
    exporters in :mod:`repro.obs.export` turn a registry into
    JSON-lines, CSV or Prometheus text.
-3. **Thread safety.**  Monitors may be driven from worker threads; all
-   updates go through per-registry locking.
+3. **Thread safety.**  Monitors may be driven from worker threads;
+   every instrument child carries its own lock, so two threads updating
+   different instruments never contend, and two threads updating the
+   same counter serialize on that counter alone.  The registry-wide
+   lock guards only family creation, span recording and the snapshot
+   series.
 
 Instrument kinds follow the conventional semantics:
 
@@ -209,6 +213,12 @@ class MetricsRegistry:
         self._spans: List[SpanRecord] = []
         #: Origin of the registry's span timeline (monotonic clock).
         self.epoch = time.perf_counter()
+        #: Per-window snapshot-delta records, appended by
+        #: :func:`repro.obs.snapshots.emit_window_record` (one per
+        #: decoded window of a monitoring run).
+        self.window_series: List[Dict[str, object]] = []
+        #: The snapshot the next window delta is taken against.
+        self._last_snapshot: Optional[object] = None
 
     # -- instrument lookup -------------------------------------------------
     def _instrument(self, kind: str, name: str, labels: Dict[str, object]):
@@ -218,7 +228,10 @@ class MetricsRegistry:
             family = self._metrics.setdefault(key, {})
             child = family.get(items)
             if child is None:
-                child = self._KINDS[kind](name, items, self._lock)
+                # Each child gets its own lock: hot instruments updated
+                # from worker threads must not serialize on unrelated
+                # families (or on family creation).
+                child = self._KINDS[kind](name, items, threading.Lock())
                 family[items] = child
             return child
 

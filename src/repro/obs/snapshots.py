@@ -1,0 +1,238 @@
+"""Windowed registry snapshots and per-window deltas.
+
+A cumulative :class:`~repro.obs.registry.MetricsRegistry` answers "what
+has happened so far"; a live operator wants "what happened *this*
+window".  This module bridges the two:
+
+* :func:`take_snapshot` freezes the registry's current state into an
+  immutable :class:`RegistrySnapshot` (counter/gauge values, histogram
+  and timer states keyed by ``name{label=value,...}``).
+* :func:`snapshot_delta` turns two snapshots into one time-series
+  record: **counters as deltas**, **gauges as levels**, **histograms
+  and timers as per-window count/sum/mean plus approximate p50/p90/p99
+  quantiles** interpolated from the bucket-count deltas.
+* :func:`emit_window_record` does both against the registry's last
+  snapshot and appends the record to ``registry.window_series`` — the
+  monitoring loop calls it once per decoded window, so a run leaves a
+  full per-window telemetry trail behind (served live at
+  ``/series.json`` by :mod:`repro.obs.server` and rendered by
+  ``repro top``).
+
+Everything here is read-only with respect to the instruments and costs
+nothing when the registry is the no-op ``NullRegistry``
+(:func:`emit_window_record` returns immediately).
+
+Snapshot-delta record shape (JSON-friendly)::
+
+    {"window": 3, "ts": 12.345,          # seconds since registry epoch
+     "counters":  {"system.tuples": 4096.0, ...},          # deltas
+     "gauges":    {"quality.coverage": 1.0, ...},          # levels
+     "timers":    {"control.decode.duration":
+                   {"count": 1, "sum": ..., "mean": ...,
+                    "p50": ..., "p90": ..., "p99": ...}},
+     "histograms": {...same shape as timers...}}
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .registry import (
+    Counter,
+    Gauge,
+    HistogramInstrument,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "RegistrySnapshot",
+    "take_snapshot",
+    "snapshot_delta",
+    "emit_window_record",
+    "bucket_quantile",
+    "instrument_key",
+]
+
+#: Quantiles reported for every histogram/timer family per window.
+WINDOW_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p90", 0.90), ("p99", 0.99),
+)
+
+
+def instrument_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Flat series key for one instrument child:
+    ``name`` or ``name{k=v,...}`` (labels already sorted)."""
+    if not labels:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{body}}}"
+
+
+@dataclass(frozen=True)
+class _HistogramState:
+    """Frozen histogram/timer state inside a snapshot."""
+
+    count: int
+    sum: float
+    bounds: Tuple[float, ...]
+    bucket_counts: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """An immutable point-in-time capture of a registry's instruments.
+
+    The mappings are built once and never mutated; treat them as
+    read-only (they are shared between the snapshot and any deltas
+    derived from it).
+    """
+
+    #: Seconds since the registry's epoch (monotonic clock).
+    ts: float
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    histograms: Dict[str, _HistogramState]
+    #: Keys in ``histograms`` that are timers (durations in seconds).
+    timer_keys: FrozenSet[str]
+
+
+def take_snapshot(registry: MetricsRegistry) -> RegistrySnapshot:
+    """Freeze the registry's current instrument values."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, _HistogramState] = {}
+    timer_keys = set()
+    for kind, inst in registry.instruments():
+        key = instrument_key(inst.name, inst.labels)
+        if isinstance(inst, HistogramInstrument):
+            with inst._lock:
+                state = _HistogramState(
+                    count=inst.count,
+                    sum=inst.sum,
+                    bounds=tuple(inst.bounds),
+                    bucket_counts=tuple(inst.bucket_counts),
+                )
+            histograms[key] = state
+            if isinstance(inst, Timer):
+                timer_keys.add(key)
+        elif isinstance(inst, Counter):
+            counters[key] = inst.value
+        elif isinstance(inst, Gauge):
+            gauges[key] = inst.value
+    return RegistrySnapshot(
+        ts=time.perf_counter() - registry.epoch,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        timer_keys=frozenset(timer_keys),
+    )
+
+
+def bucket_quantile(
+    bounds: Tuple[float, ...],
+    bucket_counts: Tuple[int, ...],
+    q: float,
+) -> float:
+    """Approximate the ``q``-quantile of a bucketed distribution.
+
+    Linear interpolation within the bucket holding the target rank
+    (Prometheus ``histogram_quantile`` style); the overflow (+Inf)
+    bucket is clamped to the last finite bound.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cum = 0.0
+    lo = 0.0
+    for i, n in enumerate(bucket_counts):
+        hi = bounds[i] if i < len(bounds) else bounds[-1]
+        if n > 0 and cum + n >= rank:
+            if i >= len(bounds):
+                return float(hi)
+            fraction = (rank - cum) / n
+            return float(lo + (hi - lo) * max(0.0, min(1.0, fraction)))
+        cum += n
+        lo = hi
+    return float(bounds[-1])
+
+
+def _distribution_delta(
+    cur: _HistogramState, prev: Optional[_HistogramState]
+) -> Optional[Dict[str, object]]:
+    """Per-window view of one histogram/timer family (``None`` when no
+    observations landed this window)."""
+    prev_count = prev.count if prev is not None else 0
+    count = cur.count - prev_count
+    if count <= 0:
+        return None
+    prev_sum = prev.sum if prev is not None else 0.0
+    prev_buckets = (
+        prev.bucket_counts if prev is not None else (0,) * len(cur.bucket_counts)
+    )
+    dbuckets = tuple(
+        c - p for c, p in zip(cur.bucket_counts, prev_buckets)
+    )
+    dsum = cur.sum - prev_sum
+    entry: Dict[str, object] = {
+        "count": count,
+        "sum": dsum,
+        "mean": dsum / count,
+    }
+    for label, q in WINDOW_QUANTILES:
+        entry[label] = bucket_quantile(cur.bounds, dbuckets, q)
+    return entry
+
+
+def snapshot_delta(
+    prev: Optional[RegistrySnapshot],
+    cur: RegistrySnapshot,
+    window: Optional[int] = None,
+) -> Dict[str, object]:
+    """One time-series record between two snapshots (``prev`` may be
+    ``None`` for the first window: deltas are then absolute values)."""
+    record: Dict[str, object] = {
+        "window": window,
+        "ts": cur.ts,
+        "counters": {},
+        "gauges": dict(cur.gauges),
+        "timers": {},
+        "histograms": {},
+    }
+    counters = record["counters"]
+    for key, value in cur.counters.items():
+        base = prev.counters.get(key, 0.0) if prev is not None else 0.0
+        delta = value - base
+        if delta:
+            counters[key] = delta
+    for key, state in cur.histograms.items():
+        entry = _distribution_delta(
+            state, prev.histograms.get(key) if prev is not None else None
+        )
+        if entry is None:
+            continue
+        section = "timers" if key in cur.timer_keys else "histograms"
+        record[section][key] = entry
+    return record
+
+
+def emit_window_record(
+    registry: MetricsRegistry, window: int
+) -> Optional[Dict[str, object]]:
+    """Snapshot the registry, append the delta record for ``window`` to
+    ``registry.window_series``, and return it (``None`` when the
+    registry is disabled — strictly free on the no-op path)."""
+    if not registry.enabled:
+        return None
+    cur = take_snapshot(registry)
+    with registry._lock:
+        prev = registry._last_snapshot
+        registry._last_snapshot = cur
+        record = snapshot_delta(prev, cur, window=window)
+        registry.window_series.append(record)
+    return record

@@ -1,0 +1,247 @@
+"""``repro top`` — an in-terminal dashboard over a live run.
+
+Renders per-window telemetry — error proxy / actual error, decode
+coverage, trash-bin spill, drift, fault counters, ingest rate — from
+either of the two live surfaces a run exposes:
+
+* an **event journal** (``repro simulate --journal run.journal``):
+  decode events carry the full per-window accounting, fault events the
+  degradation story; the dashboard tails the file (lenient reads
+  tolerate a partially flushed last line) and exits once it sees the
+  ``run_end`` event;
+* a **metrics server URL** (``repro simulate --serve-metrics :9100``):
+  the per-window snapshot-delta series is fetched from
+  ``<url>/series.json`` (:mod:`repro.obs.snapshots`); here the error
+  column is the window's measured error from the
+  ``system.window.error`` histogram delta and the quality gauges ride
+  along.
+
+Rendering is plain text (one screenful, ANSI clear between refreshes
+when stdout is a TTY) so it works over ssh and in CI logs alike.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .journal import read_journal
+
+__all__ = ["TopRow", "TopState", "load_state", "render_top"]
+
+
+@dataclass(frozen=True)
+class TopRow:
+    """One decoded window as the dashboard shows it."""
+
+    window: int
+    ts: Optional[float] = None
+    tuples: Optional[int] = None
+    error: Optional[float] = None
+    coverage: Optional[float] = None
+    spill: Optional[float] = None
+    drift: Optional[float] = None
+    bytes: Optional[int] = None
+    reporting: Optional[int] = None
+
+
+@dataclass
+class TopState:
+    """Everything one refresh of the dashboard needs."""
+
+    source: str
+    rows: List[TopRow] = field(default_factory=list)
+    #: Cumulative degradation/install counters.
+    counters: Dict[str, float] = field(default_factory=dict)
+    finished: bool = False
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(r.tuples or 0 for r in self.rows)
+
+    @property
+    def mean_error(self) -> float:
+        errors = [r.error for r in self.rows if r.error is not None]
+        return sum(errors) / len(errors) if errors else 0.0
+
+    @property
+    def ingest_rate(self) -> float:
+        """Tuples/second over the observed windows (0 until two
+        timestamped windows exist)."""
+        timed = [r for r in self.rows if r.ts is not None]
+        if len(timed) < 2:
+            return 0.0
+        elapsed = timed[-1].ts - timed[0].ts
+        if elapsed <= 0:
+            return 0.0
+        return sum(r.tuples or 0 for r in timed[1:]) / elapsed
+
+
+def state_from_journal(events: List[Dict], source: str) -> TopState:
+    """Fold journal events into dashboard state."""
+    state = TopState(source=source)
+    counters = state.counters
+    for ev in events:
+        kind = ev.get("event")
+        if kind == "decode":
+            state.rows.append(
+                TopRow(
+                    window=int(ev.get("window_index", len(state.rows))),
+                    ts=ev.get("ts"),
+                    tuples=ev.get("tuples"),
+                    error=ev.get("error"),
+                    coverage=ev.get("coverage"),
+                    spill=ev.get("spill_fraction"),
+                    drift=ev.get("drift_score"),
+                    bytes=ev.get("histogram_bytes"),
+                    reporting=ev.get("monitors_reporting"),
+                )
+            )
+            late = ev.get("late_messages", 0)
+            if late:
+                counters["late"] = counters.get("late", 0) + late
+        elif kind == "fault.drop":
+            counters["drop"] = counters.get("drop", 0) + 1
+        elif kind == "fault.duplicate":
+            counters["dup"] = counters.get("dup", 0) + 1
+        elif kind == "fault.delay":
+            counters["delay"] = counters.get("delay", 0) + 1
+        elif kind == "fault.crash":
+            counters["crash"] = counters.get("crash", 0) + 1
+        elif kind == "install":
+            counters["installs"] = counters.get("installs", 0) + 1
+            if ev.get("retry"):
+                counters["retries"] = counters.get("retries", 0) + 1
+        elif kind == "recalibration":
+            counters["recalibrations"] = (
+                counters.get("recalibrations", 0) + 1
+            )
+        elif kind == "run_end":
+            state.finished = True
+    return state
+
+
+#: snapshot-series keys -> dashboard counter keys.
+_SERIES_COUNTERS = {
+    "channel.faults.dropped": "drop",
+    "channel.faults.duplicated": "dup",
+    "channel.faults.delayed": "delay",
+    "system.monitor.crashes": "crash",
+    "system.messages.late": "late",
+    "control.install.attempts": "installs",
+    "control.install.retries": "retries",
+    "system.recalibrations": "recalibrations",
+}
+
+
+def state_from_series(records: List[Dict], source: str) -> TopState:
+    """Fold per-window snapshot-delta records (``/series.json``) into
+    dashboard state."""
+    state = TopState(source=source)
+    for rec in records:
+        counters = rec.get("counters", {})
+        gauges = rec.get("gauges", {})
+        hists = dict(rec.get("histograms", {}))
+        hists.update(rec.get("timers", {}))
+        error_dist = hists.get("system.window.error")
+        bytes_dist = hists.get("system.window.bytes")
+        reporting_dist = hists.get("system.window.monitors_reporting")
+        tuples = counters.get("system.tuples")
+        state.rows.append(
+            TopRow(
+                window=int(rec.get("window") or len(state.rows)),
+                ts=rec.get("ts"),
+                tuples=int(tuples) if tuples is not None else None,
+                error=error_dist["mean"] if error_dist else None,
+                coverage=gauges.get("quality.coverage"),
+                spill=gauges.get("quality.spill_fraction"),
+                drift=gauges.get("quality.drift_score"),
+                bytes=int(bytes_dist["sum"]) if bytes_dist else None,
+                reporting=(
+                    int(round(reporting_dist["mean"]))
+                    if reporting_dist
+                    else None
+                ),
+            )
+        )
+        for key, short in _SERIES_COUNTERS.items():
+            delta = counters.get(key)
+            if delta:
+                state.counters[short] = state.counters.get(short, 0) + delta
+    return state
+
+
+def load_state(source: str, timeout: float = 5.0) -> TopState:
+    """Dashboard state from a journal path or a metrics-server URL."""
+    if source.startswith(("http://", "https://")):
+        url = source.rstrip("/") + "/series.json"
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            records = json.loads(resp.read().decode("utf-8"))
+        return state_from_series(records, source)
+    return state_from_journal(
+        read_journal(source, strict=False), source
+    )
+
+
+def _fmt(value, spec: str, width: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return format(value, spec).rjust(width)
+
+
+def _fmt_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M tup/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k tup/s"
+    return f"{rate:.0f} tup/s"
+
+
+def render_top(state: TopState, max_rows: int = 12) -> str:
+    """One screenful of dashboard."""
+    out: List[str] = []
+    status = "finished" if state.finished else "running"
+    out.append(
+        f"repro top — {state.source}  [{status}]"
+    )
+    out.append(
+        f"windows {len(state.rows)}   tuples {state.total_tuples:,}   "
+        f"ingest {_fmt_rate(state.ingest_rate)}   "
+        f"mean error {state.mean_error:.4g}"
+    )
+    if state.counters:
+        parts = [
+            f"{key} {int(value)}"
+            for key, value in sorted(state.counters.items())
+        ]
+        out.append("faults/installs: " + "  ".join(parts))
+    out.append("")
+    header = (
+        f"{'win':>5} {'tuples':>9} {'error':>10} {'cover':>6} "
+        f"{'spill':>6} {'drift':>6} {'bytes':>8} {'rep':>4}  error bar"
+    )
+    out.append(header)
+    rows = state.rows[-max_rows:]
+    max_error = max(
+        (r.error for r in rows if r.error is not None), default=0.0
+    )
+    for r in rows:
+        bar = ""
+        if r.error is not None and max_error > 0:
+            bar = "#" * max(1, round(20 * r.error / max_error))
+        out.append(
+            f"{r.window:>5}"
+            f" {_fmt(r.tuples, 'd', 9)}"
+            f" {_fmt(r.error, '.4g', 10)}"
+            f" {_fmt(r.coverage, '.2f', 6)}"
+            f" {_fmt(r.spill, '.3f', 6)}"
+            f" {_fmt(r.drift, '.3f', 6)}"
+            f" {_fmt(r.bytes, 'd', 8)}"
+            f" {_fmt(r.reporting, 'd', 4)}"
+            f"  {bar}"
+        )
+    if not rows:
+        out.append("  (no decoded windows yet)")
+    return "\n".join(out) + "\n"

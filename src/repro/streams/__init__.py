@@ -18,6 +18,7 @@ from .channel import Channel
 from .control_center import ControlCenter, DecodedWindow, STALE_POLICIES
 from .system import MonitoringSystem, SystemReport, WindowReport
 from .recalibrate import AdaptiveMonitoringSystem, BucketDriftDetector
+from .replay import replay_system_report
 from .panes import PaneAggregator
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "WindowReport",
     "BucketDriftDetector",
     "AdaptiveMonitoringSystem",
+    "replay_system_report",
     "PaneAggregator",
 ]

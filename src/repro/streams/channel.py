@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from ..core.domain import UIDDomain
 from ..core.partition import PartitioningFunction
-from ..obs import get_registry
+from ..obs import get_journal, get_registry
 from .faults import Delivery, FaultModel
 from .monitor import HistogramMessage
 
@@ -92,6 +92,19 @@ class Channel:
             delayed = sum(1 for d in deliveries if d.delay)
             if delayed:
                 registry.counter("channel.faults.delayed").inc(delayed)
+        journal = get_journal()
+        if journal.enabled:
+            where = {
+                "monitor": message.monitor,
+                "window": message.window_index,
+            }
+            for _ in range(transmissions - 1):
+                journal.emit("fault.duplicate", **where)
+            for _ in range(transmissions - len(deliveries)):
+                journal.emit("fault.drop", **where)
+            for d in deliveries:
+                if d.delay:
+                    journal.emit("fault.delay", delay=d.delay, **where)
         return deliveries
 
     def send_function(

@@ -33,7 +33,7 @@ from ..core.estimate import reconstruct_estimates
 from ..core.groups import GroupTable
 from ..core.hierarchy import PrunedHierarchy
 from ..core.partition import Histogram, PartitioningFunction
-from ..obs import get_registry, span
+from ..obs import QualityTracker, WindowQuality, get_journal, get_registry, span
 from .kernels import stream_kernel_mode
 from .monitor import HistogramMessage
 
@@ -77,6 +77,10 @@ class DecodedWindow:
     coverage: float
     #: Nonzero buckets across the used histograms (decode-time cost).
     nonzero_buckets: int
+    #: Online quality signals for this window (``None`` when neither
+    #: metrics nor the journal are enabled — the disabled path stays
+    #: strictly no-op).
+    quality: Optional[WindowQuality] = None
 
 
 class ControlCenter:
@@ -113,6 +117,10 @@ class ControlCenter:
         self._function_cache: OrderedDict[bytes, PartitioningFunction] = (
             OrderedDict()
         )
+        #: Online quality bookkeeping (drift reference per function
+        #: version); consulted by :meth:`decode_window` when metrics or
+        #: the event journal are live.
+        self.quality = QualityTracker()
 
     # -- function construction -------------------------------------------
     def _fingerprint(self, counts: np.ndarray) -> bytes:
@@ -152,6 +160,7 @@ class ControlCenter:
                 self._function_cache.move_to_end(key)
                 self.function = cached
                 self.function_version += 1
+                self._journal_rebuild(cached, cache="hit")
                 if registry.enabled:
                     registry.counter("control.rebuilds").inc()
                     registry.counter("control.rebuild.cache.hits").inc()
@@ -176,6 +185,9 @@ class ControlCenter:
                 function_bits=self.function.size_bits(),
             )
         self.function_version += 1
+        self._journal_rebuild(
+            self.function, cache="miss" if key is not None else "off"
+        )
         if key is not None:
             self._function_cache[key] = self.function
             while len(self._function_cache) > self.cache_size:
@@ -191,6 +203,19 @@ class ControlCenter:
                 self.function.size_bits()
             )
         return self.function
+
+    def _journal_rebuild(
+        self, function: PartitioningFunction, cache: str
+    ) -> None:
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "rebuild",
+                version=self.function_version,
+                buckets=int(function.num_buckets),
+                function_bits=int(function.size_bits()),
+                cache=cache,
+            )
 
     # -- decoding ----------------------------------------------------------
     @staticmethod
@@ -271,6 +296,24 @@ class ControlCenter:
         )
         if policy == "rescale" and 0.0 < coverage < 1.0:
             estimates = estimates / coverage
+        quality: Optional[WindowQuality] = None
+        if registry.enabled or get_journal().enabled:
+            # Online quality signals need no ground truth — everything
+            # below derives from the merged histogram and the decode
+            # accounting.  Skipped entirely on the disabled path.
+            quality = self.quality.observe(
+                counts=merged.counts,
+                unmatched=merged.unmatched,
+                num_buckets=self.function.num_buckets,
+                version=self.function_version,
+                coverage=coverage,
+                messages=len(messages),
+                duplicates=duplicates,
+                stale=stale,
+            )
+            if registry.enabled:
+                for name, value in quality.as_dict().items():
+                    registry.gauge(f"quality.{name}").set(value)
         if registry.enabled:
             registry.counter("control.decodes").inc()
             registry.counter("control.decode.messages").inc(len(messages))
@@ -287,6 +330,7 @@ class ControlCenter:
             stale_messages=stale,
             coverage=coverage,
             nonzero_buckets=sum(len(m.histogram) for m in usable),
+            quality=quality,
         )
 
     def decode(self, messages: Sequence[HistogramMessage]) -> np.ndarray:

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..obs import get_registry
+from ..obs import get_journal, get_registry
 from .monitor import HistogramMessage
 
 __all__ = ["Delivery", "FaultModel", "InstallScheduler"]
@@ -282,14 +282,27 @@ class InstallScheduler:
             if window < state.next_attempt:
                 continue
             self.attempts += 1
-            if state.attempts > 0:
+            retry = state.attempts > 0
+            if retry:
                 self.retries += 1
                 if registry.enabled:
                     registry.counter("control.install.retries").inc()
             if registry.enabled:
                 registry.counter("control.install.attempts").inc()
             state.attempts += 1
-            if channel.send_function(function, version=target):
+            acked = channel.send_function(function, version=target)
+            journal = get_journal()
+            if journal.enabled:
+                journal.emit(
+                    "install",
+                    window=window,
+                    monitor=monitor.name,
+                    version=target,
+                    attempt=state.attempts,
+                    retry=retry,
+                    acked=acked,
+                )
+            if acked:
                 monitor.install_function(function, target)
                 self._state.pop(monitor.name, None)
                 delivered_count += 1

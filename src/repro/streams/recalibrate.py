@@ -44,7 +44,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.partition import Histogram
-from ..obs import get_registry
+from ..obs import get_journal, get_registry
+from ..obs.quality import drift_score, normalized_distribution
 from .control_center import DecodedWindow
 from .system import _UNSET, MonitoringSystem, SystemReport
 from .tuples import Trace
@@ -78,10 +79,7 @@ class BucketDriftDetector:
 
     @staticmethod
     def _normalize(hist: Histogram) -> Dict[int, float]:
-        total = sum(hist.counts.values()) + hist.unmatched
-        if total <= 0:
-            return {}
-        return {node: c / total for node, c in hist.counts.items()}
+        return normalized_distribution(hist.counts, hist.unmatched)
 
     def set_reference(self, histogram: Histogram) -> None:
         """Anchor the detector to the traffic the function was built
@@ -91,18 +89,14 @@ class BucketDriftDetector:
 
     def score(self, histogram: Histogram) -> float:
         """Drift of one window: total-variation distance between bucket
-        distributions, plus the unmatched-traffic fraction."""
+        distributions, plus the unmatched-traffic fraction (delegates
+        to :mod:`repro.obs.quality` so the ``quality.drift_score``
+        gauge and the recalibration trigger agree by construction)."""
         if self._reference is None:
             return 0.0
-        current = self._normalize(histogram)
-        nodes = set(self._reference) | set(current)
-        tv = 0.5 * sum(
-            abs(self._reference.get(n, 0.0) - current.get(n, 0.0))
-            for n in nodes
+        return drift_score(
+            self._reference, histogram.counts, histogram.unmatched
         )
-        total = sum(histogram.counts.values()) + histogram.unmatched
-        unmatched = histogram.unmatched / total if total > 0 else 0.0
-        return tv + unmatched
 
     def observe(self, histogram: Histogram) -> bool:
         """Feed one window's merged histogram; returns True when a
@@ -184,9 +178,14 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
         rebuild = self.detector.observe(decoded.merged)
         report.drift_scores.append(self.detector.last_score)
         registry = get_registry()
+        journal = get_journal()
         if registry.enabled:
             registry.histogram("system.drift.score").observe(
                 self.detector.last_score
+            )
+        if journal.enabled:
+            journal.emit(
+                "drift", window=window, score=self.detector.last_score
             )
         if rebuild:
             history = np.sum(self._warehouse, axis=0)
@@ -195,6 +194,12 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
             report.rebuilds.append(window)
             if registry.enabled:
                 registry.counter("system.recalibrations").inc()
+            if journal.enabled:
+                journal.emit(
+                    "recalibration",
+                    window=window,
+                    version=self.control_center.function_version,
+                )
 
     def run(
         self,

@@ -1,0 +1,112 @@
+"""Deterministic run reconstruction from an event journal.
+
+A run executed with an :class:`~repro.obs.journal.EventJournal` scoped
+(``repro simulate --journal run.journal``) writes one event per
+install, fault, decode and recalibration.  The decode events carry the
+full per-window accounting (an :class:`~.system.WindowReport`,
+field-for-field) and the ``run_end`` event the aggregate totals, so the
+:class:`~.system.SystemReport` can be rebuilt from the journal alone —
+bit-identically, because JSON round-trips Python floats exactly
+(shortest-repr) and every journalled number is a plain ``int`` or
+``float``.
+
+``repro replay run.journal`` uses this to re-print the original run
+summary without re-running the simulation; the tests use it to lock the
+journal schema (a replayed report must *equal* the live one).
+
+Reconstruction is strict: the journal must be gapless (sequence ids
+checked by :func:`~repro.obs.journal.read_journal`), contain exactly
+one ``run_end``, and its event counts must agree with the totals that
+``run_end`` claims — a truncated or hand-edited journal is an error,
+not a silently wrong report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, List, Optional, Sequence
+
+from .recalibrate import AdaptiveReport
+from .system import SystemReport, WindowReport
+
+__all__ = ["replay_system_report"]
+
+#: WindowReport field names, in declaration order (decode events carry
+#: exactly these, plus the journal's own seq/ts/event envelope).
+_WINDOW_FIELDS = tuple(f.name for f in fields(WindowReport))
+
+#: run_end totals copied onto the report.
+_TOTAL_FIELDS = (
+    "upstream_bytes",
+    "function_bytes",
+    "raw_bytes",
+    "monitor_crashes",
+    "expired_messages",
+)
+
+
+def _window_report(event: Dict[str, object]) -> WindowReport:
+    missing = [name for name in _WINDOW_FIELDS if name not in event]
+    if missing:
+        raise ValueError(
+            f"decode event (seq {event.get('seq')}) is missing "
+            f"window fields: {', '.join(missing)}"
+        )
+    return WindowReport(**{name: event[name] for name in _WINDOW_FIELDS})
+
+
+def replay_system_report(
+    events: Sequence[Dict[str, object]],
+) -> SystemReport:
+    """Rebuild the run's report from its journal events.
+
+    Returns an :class:`~.recalibrate.AdaptiveReport` when the journal
+    contains drift/recalibration events (an adaptive run), else a plain
+    :class:`~.system.SystemReport`.  Raises ``ValueError`` on a journal
+    that is incomplete or internally inconsistent.
+    """
+    windows: List[WindowReport] = []
+    drift_scores: List[float] = []
+    rebuilds: List[int] = []
+    crashes = 0
+    run_end: Optional[Dict[str, object]] = None
+    adaptive = False
+    for event in events:
+        kind = event.get("event")
+        if kind == "decode":
+            windows.append(_window_report(event))
+        elif kind == "fault.crash":
+            crashes += 1
+        elif kind == "drift":
+            adaptive = True
+            drift_scores.append(float(event["score"]))
+        elif kind == "recalibration":
+            adaptive = True
+            rebuilds.append(int(event["window"]))
+        elif kind == "run_end":
+            if run_end is not None:
+                raise ValueError("journal contains more than one run_end")
+            run_end = event
+    if run_end is None:
+        raise ValueError(
+            "journal has no run_end event (run still in progress, "
+            "or the journal is truncated)"
+        )
+    if len(windows) != run_end["windows"]:
+        raise ValueError(
+            f"journal has {len(windows)} decode events but run_end "
+            f"claims {run_end['windows']} windows"
+        )
+    if crashes != run_end["monitor_crashes"]:
+        raise ValueError(
+            f"journal has {crashes} fault.crash events but run_end "
+            f"claims {run_end['monitor_crashes']} monitor crashes"
+        )
+    report = AdaptiveReport() if adaptive else SystemReport()
+    report.windows = windows
+    for name in _TOTAL_FIELDS:
+        setattr(report, name, run_end[name])
+    if adaptive:
+        report.drift_scores = drift_scores
+        report.rebuilds = rebuilds
+    return report

@@ -43,14 +43,14 @@ accuracy-per-bit story of the paper, measured rather than asserted.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.errors import PenaltyMetric
 from ..core.groups import GroupTable
-from ..obs import get_registry, span
+from ..obs import emit_window_record, get_journal, get_registry, span
 from .channel import Channel
 from .control_center import ControlCenter, DecodedWindow
 from .faults import Delivery, FaultModel, InstallScheduler
@@ -85,6 +85,14 @@ class WindowReport:
     stale_messages: int = 0
     #: Deliveries that arrived after their window's decode watermark.
     late_messages: int = 0
+    #: Online quality signals (see :mod:`repro.obs.quality`), filled
+    #: when metrics or the event journal were live during the run;
+    #: ``0.0`` otherwise.
+    coverage: float = 0.0
+    spill_fraction: float = 0.0
+    occupancy_entropy: float = 0.0
+    occupancy_skew: float = 0.0
+    drift_score: float = 0.0
 
 
 @dataclass
@@ -175,9 +183,23 @@ class MonitoringSystem:
         )
         function = self.control_center.rebuild_function(counts)
         version = self.control_center.function_version
+        journal = get_journal()
         for monitor in self.monitors:
-            for _ in range(self.max_install_attempts):
-                if self.channel.send_function(function, version=version):
+            for attempt in range(1, self.max_install_attempts + 1):
+                acked = self.channel.send_function(function, version=version)
+                if journal.enabled:
+                    # window -1 marks the training phase (before any
+                    # live window existed).
+                    journal.emit(
+                        "install",
+                        window=-1,
+                        monitor=monitor.name,
+                        version=version,
+                        attempt=attempt,
+                        retry=attempt > 1,
+                        acked=acked,
+                    )
+                if acked:
                     monitor.install_function(function, version)
                     break
             else:
@@ -209,6 +231,7 @@ class MonitoringSystem:
             raise RuntimeError("call train() before run()")
         cc = self.control_center
         registry = get_registry()
+        journal = get_journal()
         if faults is not None:
             faults.reset()
         previous_faults = self.channel.faults
@@ -226,6 +249,32 @@ class MonitoringSystem:
             windows = TumblingWindows(window_width)
             segmented = [list(windows.segment(share)) for share in shares]
             n_windows = max((len(s) for s in segmented), default=0)
+            if journal.enabled:
+                faults_spec = (
+                    {
+                        name: getattr(faults, name)
+                        for name in (
+                            "drop", "duplicate", "reorder", "delay",
+                            "max_delay_windows", "crash", "install_drop",
+                            "seed",
+                        )
+                    }
+                    if faults is not None
+                    else None
+                )
+                journal.emit(
+                    "run_start",
+                    windows=n_windows,
+                    monitors=len(self.monitors),
+                    algorithm=cc.algorithm,
+                    budget=cc.budget,
+                    metric=getattr(self.metric, "name", "") or repr(self.metric),
+                    stale_policy=cc.stale_policy,
+                    parallel=self.parallel,
+                    window_width=float(window_width),
+                    split_seed=int(split_seed),
+                    faults=faults_spec,
+                )
             with span(
                 "system.run", windows=n_windows, monitors=len(self.monitors),
             ):
@@ -264,6 +313,12 @@ class MonitoringSystem:
                                 registry.counter(
                                     "system.monitor.crashes"
                                 ).inc()
+                            if journal.enabled:
+                                journal.emit(
+                                    "fault.crash",
+                                    window=w,
+                                    monitor=monitor.name,
+                                )
                             continue
                         if monitor.function is None:
                             # Down since a crash; rejoins once the
@@ -346,23 +401,40 @@ class MonitoringSystem:
                     decoded = cc.decode_window(
                         on_time, expected_monitors=expected
                     )
-                    error = cc.error(decoded.estimates, actual)
+                    error = float(cc.error(decoded.estimates, actual))
                     raw = self.channel.raw_stream_bytes(int(uids.size))
-                    report.windows.append(
-                        WindowReport(
-                            window_index=w,
-                            tuples=int(uids.size),
-                            error=error,
-                            histogram_bytes=hist_bytes,
-                            raw_bytes=raw,
-                            nonzero_buckets=decoded.nonzero_buckets,
-                            monitors_reporting=decoded.monitors_reporting,
-                            duplicates_dropped=decoded.duplicates_dropped,
-                            stale_messages=decoded.stale_messages,
-                            late_messages=late,
-                        )
+                    quality = decoded.quality
+                    window_report = WindowReport(
+                        window_index=w,
+                        tuples=int(uids.size),
+                        error=error,
+                        histogram_bytes=hist_bytes,
+                        raw_bytes=raw,
+                        nonzero_buckets=decoded.nonzero_buckets,
+                        monitors_reporting=decoded.monitors_reporting,
+                        duplicates_dropped=decoded.duplicates_dropped,
+                        stale_messages=decoded.stale_messages,
+                        late_messages=late,
+                        coverage=decoded.coverage,
+                        spill_fraction=(
+                            quality.spill_fraction if quality else 0.0
+                        ),
+                        occupancy_entropy=(
+                            quality.occupancy_entropy if quality else 0.0
+                        ),
+                        occupancy_skew=(
+                            quality.occupancy_skew if quality else 0.0
+                        ),
+                        drift_score=(
+                            quality.drift_score if quality else 0.0
+                        ),
                     )
+                    report.windows.append(window_report)
                     report.raw_bytes += raw
+                    if journal.enabled:
+                        # The decode event carries the full WindowReport
+                        # so replay can rebuild it field-for-field.
+                        journal.emit("decode", **asdict(window_report))
                     if registry.enabled:
                         registry.counter("system.windows").inc()
                         registry.counter("system.tuples").inc(int(uids.size))
@@ -380,6 +452,10 @@ class MonitoringSystem:
                             "system.window.monitors_reporting"
                         ).observe(decoded.monitors_reporting)
                     self._after_window(w, decoded, actual, report)
+                    # One time-series point per decoded window:
+                    # counters as deltas, gauges as levels, timers as
+                    # per-window quantiles (no-op when disabled).
+                    emit_window_record(registry, w)
             report.expired_messages = sum(
                 len(v) for v in in_flight.values()
             )
@@ -393,6 +469,16 @@ class MonitoringSystem:
                 pool.shutdown(wait=True)
         report.upstream_bytes = self.channel.upstream_bytes
         report.function_bytes = self.channel.downstream_bytes
+        if journal.enabled:
+            journal.emit(
+                "run_end",
+                windows=len(report.windows),
+                upstream_bytes=report.upstream_bytes,
+                function_bytes=report.function_bytes,
+                raw_bytes=report.raw_bytes,
+                monitor_crashes=report.monitor_crashes,
+                expired_messages=report.expired_messages,
+            )
         if registry.enabled:
             registry.gauge("system.mean_error").set(report.mean_error)
             registry.gauge("system.compression_ratio").set(

@@ -102,6 +102,105 @@ class TestSimulate:
         assert "unknown fault spec key" in capsys.readouterr().err
 
 
+SIMULATE_SMALL = ["simulate", "--height", "10", "--packets", "20000",
+                  "--budget", "20", "--monitors", "2", "--windows", "3"]
+
+
+class TestLiveSurfaces:
+    def test_journal_then_replay_matches(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + [
+            "--faults", "drop=0.2,dup=0.1,crash=0.05,seed=11",
+            "--stale-policy", "rescale", "--journal", journal,
+        ]) == 0
+        simulated = capsys.readouterr().out
+        assert main(["replay", journal]) == 0
+        replayed = capsys.readouterr().out
+        assert replayed == simulated  # same summary, no re-simulation
+        assert "monitors reporting" in replayed
+
+    def test_replay_rejects_truncated_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + ["--journal", journal]) == 0
+        capsys.readouterr()
+        lines = open(journal).read().splitlines()
+        with open(journal, "w") as f:
+            f.write("\n".join(lines[:-1]) + "\n")  # drop run_end
+        assert main(["replay", journal]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_metrics_scrapeable_mid_run(self, capsys):
+        import json
+        import urllib.request
+        assert main(SIMULATE_SMALL + [
+            "--serve-metrics", "127.0.0.1:0", "--serve-linger", "0",
+        ]) == 0
+        # Port 0 => ephemeral; the bound URL is announced on stderr.
+        err = capsys.readouterr().err
+        assert "serving metrics at http://127.0.0.1:" in err
+
+    def test_metrics_interval_requires_metrics(self, capsys):
+        assert main(SIMULATE_SMALL + ["--metrics-interval", "1"]) == 2
+        assert "--metrics-interval" in capsys.readouterr().err
+
+    def test_metrics_interval_writes_file(self, tmp_path):
+        out = str(tmp_path / "live.jsonl")
+        assert main(SIMULATE_SMALL + [
+            "--metrics", out, "--metrics-interval", "0.05",
+        ]) == 0
+        from repro.obs import load_jsonl
+        records = load_jsonl(out)
+        assert any(r["name"] == "system.windows" for r in records)
+
+    def test_top_once_renders_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + [
+            "--faults", "drop=0.2,seed=3", "--journal", journal,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", journal, "--once"]) == 0
+        text = capsys.readouterr().out
+        assert "[finished]" in text
+        assert "error bar" in text
+        assert "drop" in text
+
+    def test_top_missing_source_errors(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.journal"), "--once"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_watch_rerenders_on_growth(self, tmp_path, capsys):
+        import threading
+        import time
+        out = str(tmp_path / "run.jsonl")
+        assert main(SIMULATE_SMALL + ["--metrics", out]) == 0
+        capsys.readouterr()
+
+        def grow():
+            time.sleep(0.3)
+            with open(out, "a") as f:
+                f.write('{"type": "counter", "name": "extra.counter", '
+                        '"labels": {}, "value": 1.0}\n')
+
+        appender = threading.Thread(target=grow)
+        appender.start()
+        # --watch-max 2: one render of the initial file, then one more
+        # once the appender grows it.
+        assert main(["stats", out, "--watch", "--watch-max", "2",
+                     "--watch-interval", "0.05"]) == 0
+        appender.join()
+        text = capsys.readouterr().out
+        assert text.count("counters") == 2
+        assert "extra.counter" in text
+
+    def test_stats_plain_still_works(self, tmp_path, capsys):
+        out = str(tmp_path / "run.jsonl")
+        assert main(SIMULATE_SMALL + ["--metrics", out]) == 0
+        capsys.readouterr()
+        assert main(["stats", out]) == 0
+        text = capsys.readouterr().out
+        assert "system.run" in text  # span tree section
+
+
 def test_version(capsys):
     with pytest.raises(SystemExit) as e:
         main(["--version"])
