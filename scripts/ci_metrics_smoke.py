@@ -8,13 +8,16 @@ the event journal and the periodic metrics writer all enabled, then:
    quality gauges appear, and validates the scrape as Prometheus
    exposition text (every line parses; ``# TYPE``/``# HELP`` exactly
    once per family, before its first sample);
-2. fetches ``/series.json`` and checks the per-window records;
+2. fetches ``/series.json`` and checks the per-window records, and
+   ``/alerts.json`` for the live SLO rule state;
 3. waits for the run to finish and replays the journal with
    ``repro replay``, requiring the replayed summary to match the live
-   run's summary byte for byte.
+   run's summary byte for byte;
+4. exports the journal with ``repro trace`` and validates the Chrome
+   Trace Event document (JSON parses, every delivery flow is paired).
 
 Exits nonzero (with a diagnostic) on any failure; CI uploads the
-journal as an artifact in that case.
+journal and trace as artifacts in that case.
 """
 
 from __future__ import annotations
@@ -31,6 +34,8 @@ PORT = 9105
 URL = f"http://127.0.0.1:{PORT}"
 JOURNAL = "ci_smoke.journal"
 METRICS = "ci_smoke.jsonl"
+TRACE = "ci_smoke.trace.json"
+SLO = "coverage>=0.5,delivery_p99_windows<=4,drift_score<=2"
 
 SIMULATE = [
     sys.executable, "-m", "repro", "simulate",
@@ -42,6 +47,7 @@ SIMULATE = [
     "--metrics", METRICS, "--metrics-interval", "0.2",
     "--serve-metrics", f"127.0.0.1:{PORT}",
     "--serve-linger", "10",
+    "--trace", "--slo", SLO,
 ]
 
 QUALITY_GAUGES = (
@@ -142,6 +148,16 @@ def main() -> int:
             if key not in rec:
                 fail(f"series record missing {key!r}: {rec}")
         print(f"/series.json: {series_len} per-window records")
+        alerts = json.loads(get("/alerts.json"))
+        for key in ("rules", "active", "alerts", "windows_evaluated"):
+            if key not in alerts:
+                fail(f"/alerts.json missing {key!r}: {alerts}")
+        if alerts["rules"] != SLO.split(","):
+            fail(f"/alerts.json rules do not match --slo: {alerts['rules']}")
+        print(
+            f"/alerts.json: {len(alerts['rules'])} rules, "
+            f"{len(alerts['active'])} firing mid-run"
+        )
         out, err = proc.communicate(timeout=180)
     except subprocess.TimeoutExpired:
         proc.kill()
@@ -168,6 +184,33 @@ def main() -> int:
             f"--- live\n{live_summary}\n--- replayed\n{replay.stdout}"
         )
     print("replay reproduced the live run summary byte-for-byte")
+
+    trace = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", JOURNAL, "-o", TRACE],
+        capture_output=True, text=True,
+    )
+    if trace.returncode != 0:
+        fail(f"trace export failed (rc={trace.returncode})\n{trace.stderr}")
+    if trace.stderr:
+        fail(f"trace export warned:\n{trace.stderr}")
+    with open(TRACE) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace document has no traceEvents")
+    tails = [e["id"] for e in events if e.get("ph") == "s"]
+    heads = [e["id"] for e in events if e.get("ph") == "f"]
+    if not tails:
+        fail("trace document has no delivery flows despite --trace")
+    if sorted(tails) != sorted(heads):
+        fail(
+            f"unpaired delivery flows: {len(tails)} starts vs "
+            f"{len(heads)} finishes"
+        )
+    print(
+        f"trace export valid: {len(events)} events, "
+        f"{len(tails)} delivery flows all paired"
+    )
     print("metrics smoke OK")
     return 0
 

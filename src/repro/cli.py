@@ -22,6 +22,7 @@ Subcommands::
                               --serve-metrics :9100
     python -m repro stats     run.jsonl [--watch]
     python -m repro replay    run.journal
+    python -m repro trace     run.journal -o run.trace.json
     python -m repro top       run.journal | http://127.0.0.1:9100
 
 Every subcommand accepts ``--metrics PATH`` (and ``--metrics-format
@@ -29,10 +30,13 @@ Every subcommand accepts ``--metrics PATH`` (and ``--metrics-format
 a file; ``repro stats`` pretty-prints a captured JSON-lines file
 (``--watch`` re-renders as the file grows).  ``simulate`` additionally
 exposes the live surfaces: ``--journal`` records every pipeline event
-(replayable with ``repro replay``), ``--serve-metrics`` serves
-Prometheus text at ``/metrics`` mid-run, ``--metrics-interval``
-re-writes the metrics file periodically, and ``repro top`` renders an
-in-terminal dashboard over either surface.
+(replayable with ``repro replay``), ``--trace`` follows every
+histogram copy's lifecycle end to end (``repro trace`` exports the
+result as a Perfetto-loadable Chrome trace), ``--slo`` /
+``--slo-file`` fire per-window alerts (served at ``/alerts.json``),
+``--serve-metrics`` serves Prometheus text at ``/metrics`` mid-run,
+``--metrics-interval`` re-writes the metrics file periodically, and
+``repro top`` renders an in-terminal dashboard over either surface.
 
 Run ``python -m repro <subcommand> --help`` for the full flag set.
 """
@@ -40,6 +44,7 @@ Run ``python -m repro <subcommand> --help`` for the full flag set.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -68,18 +73,26 @@ from .data.traffic import generate_timestamped_trace
 from .obs import (
     EXPORT_FORMATS,
     EventJournal,
+    LifecycleTracer,
     MetricsRegistry,
     MetricsServer,
     PeriodicMetricsWriter,
+    SLOEngine,
+    TopSource,
+    chrome_trace,
     get_registry,
     load_jsonl,
-    load_state,
+    load_slo_file,
     parse_serve_spec,
+    parse_slo_spec,
     read_journal,
     render_summary,
     render_top,
+    unpaired_flows,
     use_journal,
     use_registry,
+    use_slo_engine,
+    use_tracer,
     write_metrics,
 )
 from .streams import (
@@ -216,6 +229,19 @@ def _print_report(
               f"{sum(w.late_messages for w in report.windows)}")
         print(f"monitor crashes   : {report.monitor_crashes}")
         print(f"expired in flight : {report.expired_messages}")
+    alerts = getattr(report, "alerts", [])
+    if alerts:
+        firing = [a for a in alerts if a.resolved_window is None]
+        print(f"slo alerts        : {len(alerts)} fired, "
+              f"{len(firing)} still firing")
+        for a in alerts:
+            status = (
+                "firing"
+                if a.resolved_window is None
+                else f"resolved w{a.resolved_window}"
+            )
+            print(f"  {a.rule}: fired w{a.fired_window} "
+                  f"value {a.value:.6g} [{status}]")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -247,6 +273,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: --faults: {exc}", file=sys.stderr)
             return 2
+    slo_rules = []
+    if args.slo:
+        try:
+            slo_rules.extend(parse_slo_spec(args.slo))
+        except ValueError as exc:
+            print(f"error: --slo: {exc}", file=sys.stderr)
+            return 2
+    if args.slo_file:
+        try:
+            slo_rules.extend(load_slo_file(args.slo_file))
+        except (OSError, ValueError) as exc:
+            print(f"error: --slo-file: {exc}", file=sys.stderr)
+            return 2
     system = MonitoringSystem(
         table, get_metric(args.metric), num_monitors=args.monitors,
         algorithm=args.algorithm, budget=args.budget,
@@ -256,9 +295,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     with ExitStack() as stack:
         if args.journal:
             stack.enter_context(use_journal(EventJournal(args.journal)))
+        tracer = None
+        if args.trace:
+            tracer = stack.enter_context(use_tracer(LifecycleTracer()))
+        engine = None
+        if slo_rules:
+            engine = stack.enter_context(
+                use_slo_engine(SLOEngine(slo_rules))
+            )
         if serve_addr is not None:
             server = stack.enter_context(
-                MetricsServer(get_registry(), *serve_addr)
+                MetricsServer(get_registry(), *serve_addr, slo=engine)
             )
             print(
                 f"serving metrics at {server.url}/metrics",
@@ -279,6 +326,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 window_width=half / max(1, args.windows),
             )
         _print_report(report, args.metric, args.monitors, faults is not None)
+        if tracer is not None:
+            # Diagnostics go to stderr: replay reconstructs stdout from
+            # the journal alone, and the journal does not carry these
+            # aggregate tracer totals.
+            c = tracer.conservation()
+            verdict = "ok" if tracer.conservation_ok() else "VIOLATED"
+            print(
+                f"lifecycle conservation {verdict}: "
+                f"sent={c['sent']} delivered={c['delivered']} "
+                f"dropped={c['dropped']} expired={c['expired']}",
+                file=sys.stderr,
+            )
         if serve_addr is not None and args.serve_linger > 0:
             # Keep /metrics scrapeable after the run (CI smoke, manual
             # inspection of a short run).
@@ -304,15 +363,49 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        events = read_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    doc = chrome_trace(events)
+    text = json.dumps(doc, sort_keys=True) + "\n"
+    out = args.output or args.journal + ".trace.json"
+    if out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(out, "w") as f:
+            f.write(text)
+        flows = sum(
+            1 for e in doc["traceEvents"] if e.get("ph") == "s"
+        )
+        print(
+            f"wrote {out}: {len(doc['traceEvents'])} trace events, "
+            f"{flows} delivery flows, from {len(events)} journal events "
+            f"(load it at https://ui.perfetto.dev)"
+        )
+    bad = unpaired_flows(doc)
+    if bad:
+        shown = ", ".join(bad[:5]) + ("..." if len(bad) > 5 else "")
+        print(
+            f"warning: {len(bad)} unpaired delivery flow(s): {shown} "
+            f"(journal from a run without --trace, or truncated?)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 _CLEAR_SCREEN = "\x1b[2J\x1b[H"
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
     refreshes = 0
+    source = TopSource(args.source)
     try:
         while True:
             try:
-                state = load_state(args.source)
+                state = source.poll()
             except (OSError, ValueError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
@@ -454,6 +547,18 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--journal", metavar="PATH", default=None,
                    help="record every pipeline event (installs, faults, "
                    "decodes) as JSON lines; replay with 'repro replay'")
+    s.add_argument("--trace", action="store_true",
+                   help="trace every histogram copy's lifecycle "
+                   "(sent/dropped/delayed/delivered + decode outcome); "
+                   "with --journal the trace.* events feed 'repro trace'")
+    s.add_argument("--slo", metavar="SPEC", default=None,
+                   help="per-window SLO rules, e.g. "
+                   "'coverage>=0.9,delivery_p99_windows<=2,"
+                   "drift_score<=0.5' (delivery_* quantiles need "
+                   "--trace); breaches fire alerts")
+    s.add_argument("--slo-file", metavar="PATH", default=None,
+                   help="load SLO rules from a JSON (or, on 3.11+, TOML) "
+                   "file; combined with --slo rules")
     s.add_argument("--serve-metrics", metavar="[HOST]:PORT", default=None,
                    help="serve live Prometheus text at /metrics (and the "
                    "per-window series at /series.json) while the run "
@@ -488,6 +593,16 @@ def _parser() -> argparse.ArgumentParser:
                        "event journal (no re-simulation)")
     r.add_argument("journal", help="journal written by simulate --journal")
     r.set_defaults(func=_cmd_replay)
+
+    tr = sub.add_parser("trace",
+                        help="export a journal as Chrome Trace Event JSON "
+                        "(loadable in Perfetto / chrome://tracing)")
+    tr.add_argument("journal",
+                    help="journal written by simulate --journal --trace")
+    tr.add_argument("-o", "--output", metavar="PATH", default=None,
+                    help="output path (default <journal>.trace.json; "
+                    "'-' writes the JSON to stdout)")
+    tr.set_defaults(func=_cmd_trace)
 
     t = sub.add_parser("top",
                        help="in-terminal dashboard over a live run "

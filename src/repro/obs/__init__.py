@@ -67,8 +67,32 @@ from .journal import (
     set_journal,
     use_journal,
 )
+from .lifecycle import (
+    DELIVERED_OUTCOMES,
+    NULL_TRACER,
+    OUTCOMES,
+    LifecycleTracer,
+    NullTracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .slo import (
+    NULL_SLO_ENGINE,
+    Alert,
+    NullSLOEngine,
+    SLOEngine,
+    SLORule,
+    get_slo_engine,
+    load_slo_file,
+    parse_slo_rule,
+    parse_slo_spec,
+    set_slo_engine,
+    use_slo_engine,
+)
+from .chrometrace import chrome_trace, unpaired_flows
 from .server import MetricsServer, PeriodicMetricsWriter, parse_serve_spec
-from .top import TopState, load_state, render_top
+from .top import TopSource, TopState, load_state, render_top
 
 __all__ = [
     # registry
@@ -120,10 +144,35 @@ __all__ = [
     "set_journal",
     "use_journal",
     "read_journal",
+    # lifecycle tracing
+    "LifecycleTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "OUTCOMES",
+    "DELIVERED_OUTCOMES",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    # SLOs and alerting
+    "Alert",
+    "SLORule",
+    "SLOEngine",
+    "NullSLOEngine",
+    "NULL_SLO_ENGINE",
+    "parse_slo_rule",
+    "parse_slo_spec",
+    "load_slo_file",
+    "get_slo_engine",
+    "set_slo_engine",
+    "use_slo_engine",
+    # Chrome trace export
+    "chrome_trace",
+    "unpaired_flows",
     # live surfaces
     "MetricsServer",
     "PeriodicMetricsWriter",
     "parse_serve_spec",
+    "TopSource",
     "TopState",
     "load_state",
     "render_top",

@@ -25,6 +25,8 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
+import tempfile
 from typing import Dict, Iterable, List, Optional
 
 from .registry import (
@@ -207,7 +209,15 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 
 def write_metrics(registry: MetricsRegistry, path: str, fmt: str = "json") -> None:
     """Render ``registry`` in ``fmt`` (``json``/``csv``/``prom``) to
-    ``path``."""
+    ``path``.
+
+    The write is **atomic**: the rendering lands in a temp file in the
+    same directory and is moved into place with :func:`os.replace`, so
+    a collector tailing the file (or a crash mid-write) never observes
+    a torn half-rendered state — which matters for
+    :class:`~repro.obs.server.PeriodicMetricsWriter` rewriting the
+    same path every few seconds.
+    """
     renderers = {"json": to_jsonl, "csv": to_csv, "prom": to_prometheus}
     try:
         renderer = renderers[fmt]
@@ -215,8 +225,21 @@ def write_metrics(registry: MetricsRegistry, path: str, fmt: str = "json") -> No
         raise ValueError(
             f"unknown metrics format {fmt!r}; known: {', '.join(renderers)}"
         )
-    with open(path, "w") as f:
-        f.write(renderer(registry))
+    text = renderer(registry)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_jsonl(path: str) -> List[Dict]:

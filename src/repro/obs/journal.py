@@ -37,6 +37,7 @@ import json
 import threading
 import time
 from contextlib import contextmanager
+from datetime import datetime, timezone
 from typing import Dict, Iterator, List, Optional, TextIO, Union
 
 __all__ = [
@@ -63,6 +64,19 @@ EVENT_TYPES = (
     "drift",          # drift detector score for one window (adaptive)
     "recalibration",  # drift-triggered rebuild (adaptive)
     "run_end",        # run totals (SystemReport aggregate fields)
+    # lifecycle tracing (emitted when a LifecycleTracer is scoped; see
+    # repro.obs.lifecycle — fields carry the (monitor, window, version,
+    # copy) trace id):
+    "trace.sent",       # one wire transmission left a Monitor
+    "trace.duplicated",  # this copy exists only by network duplication
+    "trace.delayed",    # the copy will arrive `delay` windows late
+    "trace.reordered",  # the copy was shuffled in its arrival window
+    "trace.delivered",  # the copy reached the Control Center
+    "trace.closed",     # final outcome + age_windows (closes the trace)
+    # SLO alerting (emitted when an SLOEngine is scoped; see
+    # repro.obs.slo):
+    "alert.fired",      # a rule went out of bounds this window
+    "alert.resolved",   # a firing rule came back in bounds
 )
 
 
@@ -83,6 +97,10 @@ class EventJournal:
         self._lock = threading.Lock()
         self._seq = 0
         self._epoch = time.perf_counter()
+        #: Wall-clock anchor (ISO-8601, UTC) for the monotonic ``ts``
+        #: offsets — lets journals from different runs be time-aligned
+        #: (stamped onto the ``run_start`` event by the run loop).
+        self.wall_start = datetime.now(timezone.utc).isoformat()
 
     def emit(self, event: str, **fields) -> int:
         """Write one event; returns its sequence id."""
@@ -119,6 +137,7 @@ class NullJournal:
 
     enabled = False
     path = None
+    wall_start = None
 
     def emit(self, event: str, **fields) -> int:
         return -1

@@ -13,8 +13,15 @@ handed to it.
     mid-run);
   * ``/series.json`` — the per-window snapshot-delta series
     (:mod:`repro.obs.snapshots`), the data source for
-    ``repro top http://host:port``;
+    ``repro top http://host:port``; ``?since=N`` returns only the
+    records from index ``N`` on, so pollers fetch each window once;
+  * ``/alerts.json`` — the SLO engine's rules, active alerts and
+    alert history (:mod:`repro.obs.slo`; an empty document when no
+    engine is attached);
   * ``/healthz`` — liveness probe.
+
+  Unknown paths get a JSON 404 body (``{"error": "not found", ...}``)
+  so programmatic pollers fail loudly and parseably.
 
   Binding port 0 picks an ephemeral port (exposed as ``.port`` after
   :meth:`~MetricsServer.start`), which is what the tests use.
@@ -31,9 +38,11 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .export import to_prometheus, write_metrics
 from .registry import MetricsRegistry
+from .slo import NULL_SLO_ENGINE
 
 __all__ = [
     "MetricsServer",
@@ -75,21 +84,48 @@ class _MetricsHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         registry: MetricsRegistry = self.server.registry  # type: ignore
-        path = self.path.split("?", 1)[0]
+        parts = urlsplit(self.path)
+        path = parts.path
         if path == "/metrics":
             body = to_prometheus(registry).encode("utf-8")
             self._send(
                 200, "text/plain; version=0.0.4; charset=utf-8", body
             )
         elif path == "/series.json":
+            since = 0
+            raw = parse_qs(parts.query).get("since", ["0"])[-1]
+            try:
+                since = max(0, int(raw))
+            except ValueError:
+                self._send(
+                    400, "application/json",
+                    json.dumps(
+                        {"error": "bad since parameter", "since": raw}
+                    ).encode("utf-8") + b"\n",
+                )
+                return
             with registry._lock:
-                series = list(registry.window_series)
+                series = list(registry.window_series[since:])
             body = json.dumps(series).encode("utf-8")
+            self._send(200, "application/json", body)
+        elif path == "/alerts.json":
+            slo = getattr(self.server, "slo", None) or NULL_SLO_ENGINE
+            body = json.dumps(slo.as_json(), sort_keys=True).encode("utf-8")
             self._send(200, "application/json", body)
         elif path in ("/", "/healthz"):
             self._send(200, "text/plain; charset=utf-8", b"ok\n")
         else:
-            self._send(404, "text/plain; charset=utf-8", b"not found\n")
+            body = json.dumps(
+                {
+                    "error": "not found",
+                    "path": path,
+                    "endpoints": [
+                        "/metrics", "/series.json", "/alerts.json",
+                        "/healthz",
+                    ],
+                }
+            ).encode("utf-8") + b"\n"
+            self._send(404, "application/json", body)
 
     def log_message(self, format: str, *args) -> None:
         """Silence per-request stderr logging (a scraper polling every
@@ -104,11 +140,14 @@ class MetricsServer:
         registry: MetricsRegistry,
         host: str = "127.0.0.1",
         port: int = 0,
+        slo=None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.requested_port = port
         self.port: Optional[int] = None
+        #: SLO engine served at ``/alerts.json`` (``None`` -> empty doc).
+        self.slo = slo
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -122,6 +161,7 @@ class MetricsServer:
         )
         httpd.daemon_threads = True
         httpd.registry = self.registry  # type: ignore[attr-defined]
+        httpd.slo = self.slo  # type: ignore[attr-defined]
         self._httpd = httpd
         self.port = httpd.server_address[1]
         self._thread = threading.Thread(

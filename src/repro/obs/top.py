@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 from .journal import read_journal
 
-__all__ = ["TopRow", "TopState", "load_state", "render_top"]
+__all__ = ["TopRow", "TopSource", "TopState", "load_state", "render_top"]
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,15 @@ class TopState:
     rows: List[TopRow] = field(default_factory=list)
     #: Cumulative degradation/install counters.
     counters: Dict[str, float] = field(default_factory=dict)
+    #: SLO alert history as dicts (``rule``, ``fired_window``,
+    #: ``value``, ``threshold``, ``resolved_window``), open alerts
+    #: having ``resolved_window`` None.
+    alerts: List[Dict] = field(default_factory=list)
     finished: bool = False
+
+    @property
+    def active_alerts(self) -> List[Dict]:
+        return [a for a in self.alerts if a.get("resolved_window") is None]
 
     @property
     def total_tuples(self) -> int:
@@ -118,6 +126,20 @@ def state_from_journal(events: List[Dict], source: str) -> TopState:
             counters["recalibrations"] = (
                 counters.get("recalibrations", 0) + 1
             )
+        elif kind == "alert.fired":
+            state.alerts.append({
+                "rule": ev.get("rule"),
+                "fired_window": ev.get("window"),
+                "value": ev.get("value"),
+                "threshold": ev.get("threshold"),
+                "resolved_window": None,
+            })
+        elif kind == "alert.resolved":
+            rule = ev.get("rule")
+            for alert in reversed(state.alerts):
+                if alert["rule"] == rule and alert["resolved_window"] is None:
+                    alert["resolved_window"] = ev.get("window")
+                    break
         elif kind == "run_end":
             state.finished = True
     return state
@@ -173,16 +195,49 @@ def state_from_series(records: List[Dict], source: str) -> TopState:
     return state
 
 
+class TopSource:
+    """Stateful poller behind the ``repro top`` refresh loop.
+
+    URL mode fetches ``/series.json?since=N`` (``N`` = records already
+    held) so each window record crosses the wire exactly once, then
+    polls ``/alerts.json`` best-effort for the alert pane.  Journal
+    mode re-reads the file leniently each poll — the page cache makes
+    that cheap and the lenient parser already tolerates the live tail.
+    """
+
+    def __init__(self, source: str, timeout: float = 5.0) -> None:
+        self.source = source
+        self.timeout = timeout
+        self.is_url = source.startswith(("http://", "https://"))
+        self._records: List[Dict] = []
+
+    def poll(self) -> TopState:
+        """Fetch whatever is new and fold it into a fresh state."""
+        if not self.is_url:
+            return state_from_journal(
+                read_journal(self.source, strict=False), self.source
+            )
+        base = self.source.rstrip("/")
+        url = f"{base}/series.json?since={len(self._records)}"
+        with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+            fresh = json.loads(resp.read().decode("utf-8"))
+        self._records.extend(fresh)
+        state = state_from_series(self._records, self.source)
+        try:
+            with urllib.request.urlopen(
+                f"{base}/alerts.json", timeout=self.timeout
+            ) as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+            state.alerts = list(doc.get("alerts", []))
+        except Exception:
+            pass  # pre-SLO server — the alert pane just stays empty
+        return state
+
+
 def load_state(source: str, timeout: float = 5.0) -> TopState:
-    """Dashboard state from a journal path or a metrics-server URL."""
-    if source.startswith(("http://", "https://")):
-        url = source.rstrip("/") + "/series.json"
-        with urllib.request.urlopen(url, timeout=timeout) as resp:
-            records = json.loads(resp.read().decode("utf-8"))
-        return state_from_series(records, source)
-    return state_from_journal(
-        read_journal(source, strict=False), source
-    )
+    """One-shot dashboard state from a journal path or metrics-server
+    URL (a single :class:`TopSource` poll)."""
+    return TopSource(source, timeout=timeout).poll()
 
 
 def _fmt(value, spec: str, width: int) -> str:
@@ -217,6 +272,24 @@ def render_top(state: TopState, max_rows: int = 12) -> str:
             for key, value in sorted(state.counters.items())
         ]
         out.append("faults/installs: " + "  ".join(parts))
+    if state.alerts:
+        active = state.active_alerts
+        out.append(
+            f"alerts: {len(active)} firing / {len(state.alerts)} total"
+        )
+        for alert in state.alerts[-5:]:
+            resolved = alert.get("resolved_window")
+            status = (
+                "FIRING" if resolved is None else f"resolved w{resolved}"
+            )
+            value = alert.get("value")
+            value_text = (
+                f"{value:.4g}" if isinstance(value, (int, float)) else "-"
+            )
+            out.append(
+                f"  [{status:>12}] {alert.get('rule')}  "
+                f"fired w{alert.get('fired_window')}  value {value_text}"
+            )
     out.append("")
     header = (
         f"{'win':>5} {'tuples':>9} {'error':>10} {'cover':>6} "

@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from ..core.domain import UIDDomain
 from ..core.partition import PartitioningFunction
-from ..obs import get_journal, get_registry
+from ..obs import get_journal, get_registry, get_tracer
 from .faults import Delivery, FaultModel
 from .monitor import HistogramMessage
 
@@ -63,8 +63,8 @@ class Channel:
         if plan is not None:
             transmissions, fates = plan
             deliveries = [
-                Delivery(message, delay=delay, reorder=reorder)
-                for delay, reorder in fates
+                Delivery(message, delay=delay, reorder=reorder, copy=i)
+                for i, (delay, reorder) in enumerate(fates)
             ]
         elif faults is None:
             transmissions = 1
@@ -105,6 +105,22 @@ class Channel:
             for d in deliveries:
                 if d.delay:
                     journal.emit("fault.delay", delay=d.delay, **where)
+        tracer = get_tracer()
+        if tracer.enabled:
+            monitor = message.monitor
+            window = message.window_index
+            version = message.function_version
+            # Surviving copies are numbered 0..len(deliveries)-1, the
+            # dropped transmissions take the remaining indices.
+            for copy in range(transmissions):
+                tracer.sent(monitor, window, version, copy)
+                if copy >= 1:
+                    tracer.duplicated(monitor, window, version, copy)
+            for d in deliveries:
+                if d.delay:
+                    tracer.delayed(monitor, window, version, d.copy, d.delay)
+            for copy in range(len(deliveries), transmissions):
+                tracer.dropped(monitor, window, version, copy)
         return deliveries
 
     def send_function(

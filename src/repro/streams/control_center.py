@@ -33,7 +33,14 @@ from ..core.estimate import reconstruct_estimates
 from ..core.groups import GroupTable
 from ..core.hierarchy import PrunedHierarchy
 from ..core.partition import Histogram, PartitioningFunction
-from ..obs import QualityTracker, WindowQuality, get_journal, get_registry, span
+from ..obs import (
+    QualityTracker,
+    WindowQuality,
+    get_journal,
+    get_registry,
+    get_tracer,
+    span,
+)
 from .kernels import stream_kernel_mode
 from .monitor import HistogramMessage
 
@@ -296,6 +303,27 @@ class ControlCenter:
         )
         if policy == "rescale" and 0.0 < coverage < 1.0:
             estimates = estimates / coverage
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Close each copy's lifecycle trace with its decode fate.
+            # Copies decoded here arrived without delay, so the close
+            # tick is the message's own window (age 0 in window-time).
+            rescaled = policy == "rescale" and 0.0 < coverage < 1.0
+            closed = set()
+            for m in messages:
+                key = (m.monitor, m.window_index, m.function_version)
+                if key in closed:
+                    outcome = "deduped"
+                elif m.function_version != self.function_version:
+                    closed.add(key)
+                    outcome = "quarantined"
+                else:
+                    closed.add(key)
+                    outcome = "rescaled" if rescaled else "decoded"
+                tracer.close(
+                    m.monitor, m.window_index, m.function_version,
+                    outcome, at_window=m.window_index,
+                )
         quality: Optional[WindowQuality] = None
         if registry.enabled or get_journal().enabled:
             # Online quality signals need no ground truth — everything

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..obs import get_journal, get_registry
+from ..obs import get_journal, get_registry, get_tracer
 from .monitor import HistogramMessage
 
 __all__ = ["Delivery", "FaultModel", "InstallScheduler"]
@@ -53,13 +53,17 @@ class Delivery:
 
     ``delay`` is in whole windows (0 = arrives in the window it was
     sent); ``reorder`` marks the copy for shuffling within its arrival
-    window.  Identity (not value) equality: two copies of the same
-    message are distinct deliveries.
+    window; ``copy`` numbers this wire transmission within its send
+    (the lifecycle trace id's last component — surviving copies are
+    numbered first, so copy indices at/above the survivor count name
+    the dropped transmissions).  Identity (not value) equality: two
+    copies of the same message are distinct deliveries.
     """
 
     message: HistogramMessage
     delay: int = 0
     reorder: bool = False
+    copy: int = 0
 
 
 #: Keys accepted by :meth:`FaultModel.parse`, mapped to field names.
@@ -198,8 +202,8 @@ class FaultModel:
         """
         transmissions, fates = self.plan_decisions()
         return transmissions, [
-            Delivery(message, delay=delay, reorder=reorder)
-            for delay, reorder in fates
+            Delivery(message, delay=delay, reorder=reorder, copy=i)
+            for i, (delay, reorder) in enumerate(fates)
         ]
 
     def deliver_install(self) -> bool:
@@ -215,10 +219,17 @@ class FaultModel:
         """Shuffle reorder-flagged deliveries to random positions within
         one arrival window (in place; returns the list)."""
         flagged = [d for d in arrivals if d.reorder]
+        tracer = get_tracer()
         for delivery in flagged:
             arrivals.remove(delivery)  # identity equality: exact copy out
             pos = int(self._rng.integers(0, len(arrivals) + 1))
             arrivals.insert(pos, delivery)
+            if tracer.enabled:
+                m = delivery.message
+                tracer.reordered(
+                    m.monitor, m.window_index, m.function_version,
+                    delivery.copy,
+                )
         return arrivals
 
 

@@ -23,9 +23,10 @@ not a silently wrong report.
 
 from __future__ import annotations
 
-from dataclasses import fields
+from dataclasses import fields, replace
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import Alert
 from .recalibrate import AdaptiveReport
 from .system import SystemReport, WindowReport
 
@@ -68,6 +69,9 @@ def replay_system_report(
     windows: List[WindowReport] = []
     drift_scores: List[float] = []
     rebuilds: List[int] = []
+    alerts: List[Alert] = []
+    #: rule spec -> index into ``alerts`` of the open alert.
+    active_alerts: Dict[str, int] = {}
     crashes = 0
     run_end: Optional[Dict[str, object]] = None
     adaptive = False
@@ -83,6 +87,31 @@ def replay_system_report(
         elif kind == "recalibration":
             adaptive = True
             rebuilds.append(int(event["window"]))
+        elif kind == "alert.fired":
+            rule = str(event["rule"])
+            if rule in active_alerts:
+                raise ValueError(
+                    f"alert.fired (seq {event.get('seq')}) for rule "
+                    f"{rule!r} while it is already firing"
+                )
+            active_alerts[rule] = len(alerts)
+            alerts.append(Alert(
+                rule=rule,
+                fired_window=int(event["window"]),
+                value=float(event["value"]),
+                threshold=float(event["threshold"]),
+            ))
+        elif kind == "alert.resolved":
+            rule = str(event["rule"])
+            index = active_alerts.pop(rule, None)
+            if index is None:
+                raise ValueError(
+                    f"alert.resolved (seq {event.get('seq')}) for rule "
+                    f"{rule!r} that was not firing"
+                )
+            alerts[index] = replace(
+                alerts[index], resolved_window=int(event["window"])
+            )
         elif kind == "run_end":
             if run_end is not None:
                 raise ValueError("journal contains more than one run_end")
@@ -104,6 +133,7 @@ def replay_system_report(
         )
     report = AdaptiveReport() if adaptive else SystemReport()
     report.windows = windows
+    report.alerts = alerts
     for name in _TOTAL_FIELDS:
         setattr(report, name, run_end[name])
     if adaptive:

@@ -50,7 +50,16 @@ import numpy as np
 
 from ..core.errors import PenaltyMetric
 from ..core.groups import GroupTable
-from ..obs import emit_window_record, get_journal, get_registry, span
+from ..obs import (
+    Alert,
+    emit_window_record,
+    get_journal,
+    get_registry,
+    get_slo_engine,
+    get_tracer,
+    span,
+)
+from ..obs.slo import quantile
 from .channel import Channel
 from .control_center import ControlCenter, DecodedWindow
 from .faults import Delivery, FaultModel, InstallScheduler
@@ -108,6 +117,10 @@ class SystemReport:
     #: Deliveries still in flight when the run ended (delayed past the
     #: last window; never decoded).
     expired_messages: int = 0
+    #: SLO alert history (empty unless an
+    #: :class:`~repro.obs.slo.SLOEngine` was scoped during the run;
+    #: rebuilt bit-identically from the journal by ``repro replay``).
+    alerts: List[Alert] = field(default_factory=list)
 
     @property
     def mean_error(self) -> float:
@@ -232,6 +245,8 @@ class MonitoringSystem:
         cc = self.control_center
         registry = get_registry()
         journal = get_journal()
+        tracer = get_tracer()
+        slo = get_slo_engine()
         if faults is not None:
             faults.reset()
         previous_faults = self.channel.faults
@@ -264,6 +279,7 @@ class MonitoringSystem:
                 )
                 journal.emit(
                     "run_start",
+                    wall_start=journal.wall_start,
                     windows=n_windows,
                     monitors=len(self.monitors),
                     algorithm=cc.algorithm,
@@ -385,6 +401,22 @@ class MonitoringSystem:
                     late = len(arrivals) - len(on_time)
                     if late and registry.enabled:
                         registry.counter("system.messages.late").inc(late)
+                    if tracer.enabled:
+                        # Every copy arriving this tick is delivered;
+                        # copies past their window's watermark close
+                        # immediately as late (decode never sees them).
+                        for d in arrivals:
+                            m = d.message
+                            tracer.delivered(
+                                m.monitor, m.window_index,
+                                m.function_version, d.copy, at_window=w,
+                            )
+                            if m.window_index != w:
+                                tracer.close(
+                                    m.monitor, m.window_index,
+                                    m.function_version, "late",
+                                    at_window=w, copy=d.copy,
+                                )
                     if not window_uids:
                         # No Monitor had a window slot this tick; there
                         # is nothing to ground-truth against, so skip.
@@ -456,9 +488,40 @@ class MonitoringSystem:
                     # counters as deltas, gauges as levels, timers as
                     # per-window quantiles (no-op when disabled).
                     emit_window_record(registry, w)
+                    # Delivered-close ages are per-window: drain them
+                    # even without an SLO engine so a late-attached one
+                    # never sees stale history.
+                    ages = (
+                        tracer.drain_window_ages()
+                        if tracer.enabled
+                        else []
+                    )
+                    if slo.enabled:
+                        signals = {
+                            name: float(value)
+                            for name, value in asdict(
+                                window_report
+                            ).items()
+                            if isinstance(value, (int, float))
+                        }
+                        if tracer.enabled:
+                            signals["delivery_p50_windows"] = quantile(
+                                ages, 0.50
+                            )
+                            signals["delivery_p90_windows"] = quantile(
+                                ages, 0.90
+                            )
+                            signals["delivery_p99_windows"] = quantile(
+                                ages, 0.99
+                            )
+                        slo.observe(w, signals)
             report.expired_messages = sum(
                 len(v) for v in in_flight.values()
             )
+            if tracer.enabled:
+                # Copies still in flight past the last window can never
+                # decode — close their traces as expired.
+                tracer.expire_open(n_windows)
             if report.expired_messages and registry.enabled:
                 registry.counter("system.messages.expired").inc(
                     report.expired_messages
@@ -469,6 +532,8 @@ class MonitoringSystem:
                 pool.shutdown(wait=True)
         report.upstream_bytes = self.channel.upstream_bytes
         report.function_bytes = self.channel.downstream_bytes
+        if slo.enabled:
+            report.alerts = slo.finish()
         if journal.enabled:
             journal.emit(
                 "run_end",

@@ -210,3 +210,75 @@ def test_version(capsys):
 def test_missing_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestTracingAndSLOs:
+    FAULTY = [
+        "--faults", "drop=0.3,dup=0.2,delay=0.3,seed=11",
+        "--stale-policy", "rescale",
+    ]
+
+    def test_traced_slo_run_replays_identically(self, tmp_path, capsys):
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + self.FAULTY + [
+            "--journal", journal, "--trace",
+            "--slo", "coverage>=0.99,delivery_p99_windows<=0",
+        ]) == 0
+        captured = capsys.readouterr()
+        # Alert history prints on stdout (replay-reconstructable);
+        # tracer conservation is a live-only diagnostic on stderr.
+        assert "slo alerts" in captured.out
+        assert "lifecycle conservation ok" in captured.err
+        assert main(["replay", journal]) == 0
+        replayed = capsys.readouterr()
+        assert replayed.out == captured.out
+        assert "lifecycle conservation" not in replayed.err
+
+    def test_trace_subcommand_writes_chrome_trace(self, tmp_path, capsys):
+        import json as _json
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + self.FAULTY + [
+            "--journal", journal, "--trace",
+        ]) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "run.trace.json")
+        assert main(["trace", journal, "-o", out]) == 0
+        captured = capsys.readouterr()
+        assert "delivery flows" in captured.out
+        assert "unpaired" not in captured.err
+        with open(out) as f:
+            doc = _json.load(f)
+        from repro.obs import unpaired_flows
+        assert doc["traceEvents"] and unpaired_flows(doc) == []
+
+    def test_trace_default_output_and_stdout(self, tmp_path, capsys):
+        import json as _json
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + [
+            "--journal", journal, "--trace",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", journal]) == 0
+        assert "wrote " + journal + ".trace.json" in capsys.readouterr().out
+        assert os.path.exists(journal + ".trace.json")
+        assert main(["trace", journal, "-o", "-"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc
+
+    def test_trace_missing_journal_errors(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.journal")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_slo_spec_rejected(self, capsys):
+        assert main(SIMULATE_SMALL + ["--slo", "coverage>>0.9"]) == 2
+        assert "--slo:" in capsys.readouterr().err
+
+    def test_slo_file_loaded(self, tmp_path, capsys):
+        import json as _json
+        rules = tmp_path / "rules.json"
+        rules.write_text(_json.dumps(["coverage>=0.99"]))
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + self.FAULTY + [
+            "--journal", journal, "--slo-file", str(rules),
+        ]) == 0
+        assert "slo alerts" in capsys.readouterr().out

@@ -1,0 +1,256 @@
+"""Message-lifecycle tracing: conservation, attribution, export.
+
+The tentpole invariant, locked exactly under arbitrary seeded fault
+configurations::
+
+    sent copies == delivered + dropped + expired
+    delivered   == decoded + rescaled + deduped + quarantined + late
+
+plus: the tracer is strictly opt-in (a run without one is untouched),
+its journal events reconstruct into a valid Chrome Trace Event
+document with every delivery flow paired, and replay stays
+bit-identical on journals carrying the new ``trace.*`` event types.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import UIDDomain, get_metric
+from repro.data import TrafficModel, generate_subnet_table
+from repro.data.traffic import generate_timestamped_trace
+from repro.obs import (
+    DELIVERED_OUTCOMES,
+    LifecycleTracer,
+    MetricsRegistry,
+    NULL_TRACER,
+    OUTCOMES,
+    chrome_trace,
+    get_tracer,
+    read_journal,
+    unpaired_flows,
+    use_journal,
+    use_registry,
+    use_tracer,
+)
+from repro.obs.journal import EventJournal
+from repro.streams import FaultModel, MonitoringSystem, Trace
+from repro.streams.replay import replay_system_report
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dom = UIDDomain(8)
+    table = generate_subnet_table(dom, seed=21)
+    ts, uids = generate_timestamped_trace(
+        table, 4000, duration=24.0, seed=22,
+        model=TrafficModel(active_fraction=0.2, zipf_exponent=1.1),
+    )
+    trace = Trace(ts, uids)
+    return table, trace.slice_time(0, 12), trace.slice_time(12, 24)
+
+
+def _traced_run(workload, faults, stale_policy="rescale", journal=None):
+    table, history, live = workload
+    system = MonitoringSystem(
+        table, get_metric("rms"), num_monitors=3,
+        algorithm="lpm_greedy", budget=25, stale_policy=stale_policy,
+        faults=faults,
+    )
+    tracer = LifecycleTracer()
+    with use_journal(journal), use_tracer(tracer):
+        system.train(history)
+        report = system.run(live, window_width=3.0)
+    return system, report, tracer
+
+
+class TestConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.5),
+        duplicate=st.floats(min_value=0.0, max_value=0.5),
+        delay=st.floats(min_value=0.0, max_value=0.5),
+        reorder=st.floats(min_value=0.0, max_value=1.0),
+        max_delay=st.integers(min_value=1, max_value=4),
+        crash=st.floats(min_value=0.0, max_value=0.1),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_every_copy_attributed_exactly_once(
+        self, workload, drop, duplicate, delay, reorder, max_delay,
+        crash, seed,
+    ):
+        faults = FaultModel(
+            drop=drop, duplicate=duplicate, delay=delay,
+            reorder=reorder, max_delay_windows=max_delay,
+            crash=crash, seed=seed,
+        )
+        _system, report, tracer = _traced_run(workload, faults)
+        c = tracer.conservation()
+        assert tracer.conservation_ok(), c
+        assert c["open"] == 0
+        assert c["sent"] == c["delivered"] + c["dropped"] + c["expired"]
+        assert c["delivered"] == sum(
+            c[outcome] for outcome in DELIVERED_OUTCOMES
+        )
+        # The tracer's books must agree with the report's accounting.
+        assert c["expired"] == report.expired_messages
+        assert c["late"] == sum(w.late_messages for w in report.windows)
+        assert c["deduped"] == sum(
+            w.duplicates_dropped for w in report.windows
+        )
+
+    def test_delay_reorder_at_watermark_boundary(self, workload):
+        """Every surviving copy delayed exactly one window (the decode
+        watermark) and reorder-flagged: all deliveries that land before
+        the run ends must close as late, never decoded."""
+        faults = FaultModel(
+            delay=1.0, max_delay_windows=1, reorder=1.0, seed=3,
+        )
+        _system, report, tracer = _traced_run(workload, faults)
+        c = tracer.conservation()
+        assert tracer.conservation_ok(), c
+        assert c["decoded"] == 0 and c["rescaled"] == 0
+        assert c["delivered"] == c["late"]
+        assert c["late"] + c["expired"] == c["sent"]
+        assert c["late"] > 0  # the boundary case actually exercised
+
+    def test_zero_faults_all_decoded_at_age_zero(self, workload):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            _system, report, tracer = _traced_run(
+                workload, faults=None, stale_policy="strict",
+            )
+        c = tracer.conservation()
+        assert tracer.conservation_ok()
+        assert c["sent"] == c["decoded"] == len(report.windows) * 3
+        assert all(
+            c[o] == 0
+            for o in OUTCOMES
+            if o != "decoded"
+        )
+        timer = registry.timer("delivery.age_windows")
+        assert timer.count == c["decoded"]
+        assert timer.max == 0.0  # clean link: same-window delivery
+
+
+class TestOptIn:
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.conservation_ok()
+        assert NULL_TRACER.expire_open(5) == 0
+        assert NULL_TRACER.drain_window_ages() == []
+
+    def test_untraced_run_records_nothing(self, workload):
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=3, budget=25,
+            faults=FaultModel(drop=0.2, seed=1),
+        )
+        system.train(history)
+        system.run(live, window_width=3.0)
+        assert get_tracer() is NULL_TRACER
+        assert NULL_TRACER.sent_copies == 0
+
+    def test_unknown_outcome_rejected(self):
+        tracer = LifecycleTracer()
+        tracer.sent("m", 0, 0, 0)
+        with pytest.raises(ValueError, match="unknown lifecycle outcome"):
+            tracer.close("m", 0, 0, "vanished", at_window=0)
+
+    def test_closing_unknown_key_is_noop(self):
+        tracer = LifecycleTracer()
+        tracer.close("never-sent", 0, 0, "decoded", at_window=0)
+        assert tracer.outcomes == {}
+
+
+class TestJournalAndTrace:
+    @pytest.fixture(scope="class")
+    def traced_journal(self, workload, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("lifecycle") / "run.journal")
+        faults = FaultModel(
+            drop=0.2, duplicate=0.2, delay=0.3, max_delay_windows=2,
+            reorder=0.5, seed=9,
+        )
+        _system, report, tracer = _traced_run(
+            workload, faults, journal=EventJournal(path),
+        )
+        return path, report, tracer
+
+    def test_trace_events_journalled(self, traced_journal):
+        path, _report, tracer = traced_journal
+        events = read_journal(path)
+        kinds = {e["event"] for e in events}
+        assert {"trace.sent", "trace.closed"} <= kinds
+        sent = [e for e in events if e["event"] == "trace.sent"]
+        closed = [e for e in events if e["event"] == "trace.closed"]
+        assert len(sent) == tracer.sent_copies
+        assert len(closed) == len(sent)  # every copy closed exactly once
+        for e in sent:
+            assert {"monitor", "window", "version", "copy"} <= set(e)
+        for e in closed:
+            assert e["outcome"] in OUTCOMES
+            assert e["age_windows"] == e["at_window"] - e["window"]
+
+    def test_replay_bit_identical_with_tracing(self, traced_journal):
+        path, report, _tracer = traced_journal
+        replayed = replay_system_report(read_journal(path))
+        assert replayed.windows == report.windows
+        assert replayed.expired_messages == report.expired_messages
+        assert replayed.alerts == report.alerts == []
+
+    def test_chrome_trace_valid_and_paired(self, traced_journal):
+        path, _report, tracer = traced_journal
+        doc = chrome_trace(read_journal(path))
+        # Round-trips as JSON (what `repro trace` writes to disk).
+        doc = json.loads(json.dumps(doc))
+        assert unpaired_flows(doc) == []
+        events = doc["traceEvents"]
+        tails = [e for e in events if e.get("ph") == "s"]
+        heads = [e for e in events if e.get("ph") == "f"]
+        assert len(tails) == len(heads) == tracer.sent_copies
+        # One named track per monitor plus the control center.
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert names == {
+            "control-center", "monitor-0", "monitor-1", "monitor-2",
+        }
+        tids = {e["tid"] for e in events}
+        assert tids == {0, 1, 2, 3}
+
+    def test_flow_ids_are_deterministic_trace_ids(self, traced_journal):
+        path, _report, _tracer = traced_journal
+        doc = chrome_trace(read_journal(path))
+        for e in doc["traceEvents"]:
+            if e.get("ph") in ("s", "t", "f"):
+                monitor, window, version, copy = e["id"].split("/")
+                assert monitor.startswith("monitor-")
+                assert window.startswith("w")
+                assert version.startswith("v")
+                assert copy.startswith("c")
+
+    def test_chrome_trace_of_untraced_journal_has_no_flows(
+        self, workload, tmp_path
+    ):
+        path = str(tmp_path / "plain.journal")
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=3, budget=25,
+        )
+        with use_journal(EventJournal(path)):
+            system.train(history)
+            system.run(live, window_width=3.0)
+        doc = chrome_trace(read_journal(path))
+        assert unpaired_flows(doc) == []
+        assert not any(
+            e.get("ph") in ("s", "t", "f") for e in doc["traceEvents"]
+        )
+        # Decode slices still render on the center track.
+        assert any(
+            e.get("cat") == "decode" for e in doc["traceEvents"]
+        )

@@ -816,3 +816,118 @@ class TestSpanTree:
         ]
         lines = render_span_tree(spans)
         assert len(lines) == 2  # both emitted exactly once, no hang
+
+
+# ---------------------------------------------------------------------------
+# Satellite: orphaned span parents render as roots
+# ---------------------------------------------------------------------------
+class TestSpanTreeOrphans:
+    def test_orphaned_parent_renders_as_root(self):
+        from repro.obs import render_span_tree
+        spans = [
+            # Parent name never recorded as a span itself (e.g. the
+            # root span was captured by a different registry).
+            {"name": "child.a", "parent": "ghost.run", "duration": 0.1},
+            {"name": "child.b", "parent": "ghost.run", "duration": 0.2},
+            {"name": "real.root", "parent": None, "duration": 0.3},
+        ]
+        lines = render_span_tree(spans)
+        assert len(lines) == 3  # nothing silently dropped
+        for name in ("child.a", "child.b", "real.root"):
+            line = next(l for l in lines if name in l)
+            indent = len(line) - len(line.lstrip())
+            assert indent == 2  # all roots: no phantom indentation
+
+    def test_self_parent_is_a_root(self):
+        from repro.obs import render_span_tree
+        lines = render_span_tree(
+            [{"name": "loop", "parent": "loop", "duration": 0.1}]
+        )
+        assert len(lines) == 1 and "count=1" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# Satellite: timer quantiles over empty window records
+# ---------------------------------------------------------------------------
+class TestEmptyWindowTimers:
+    def test_idle_window_omits_the_timer(self, registry):
+        registry.timer("decode.duration").observe(0.5)
+        first = emit_window_record(registry, 0)
+        assert "decode.duration" in first["timers"]
+        # No observations land in window 1: the family is omitted,
+        # not reported as a zero/NaN quantile row.
+        second = emit_window_record(registry, 1)
+        assert second["timers"] == {}
+        assert second["histograms"] == {}
+
+    def test_never_observed_timer_absent_from_first_window(self, registry):
+        registry.timer("never.fired")  # family exists, count == 0
+        record = emit_window_record(registry, 0)
+        assert record["timers"] == {}
+
+    def test_bucket_quantile_of_empty_delta_is_zero(self):
+        bounds = (1.0, 2.0, 4.0)
+        assert bucket_quantile(bounds, (0, 0, 0, 0), 0.99) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Satellite: atomic metrics writes
+# ---------------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_write_leaves_no_temp_file(self, registry, tmp_path):
+        from repro.obs import write_metrics
+        registry.counter("c").inc(3)
+        path = tmp_path / "metrics.jsonl"
+        write_metrics(registry, str(path), "json")
+        write_metrics(registry, str(path), "json")  # overwrite in place
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name != "metrics.jsonl"
+        ]
+        assert leftovers == []
+        records = load_jsonl(str(path))
+        assert any(
+            r["name"] == "c" and r["value"] == 3 for r in records
+        )
+
+    def test_failed_render_cleans_up(self, registry, tmp_path):
+        from repro.obs import write_metrics
+        path = tmp_path / "metrics.jsonl"
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            write_metrics(registry, str(path), "xml")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_periodic_writer_final_state_is_atomic(self, registry, tmp_path):
+        registry.counter("writes").inc()
+        path = tmp_path / "live.jsonl"
+        with PeriodicMetricsWriter(
+            registry, str(path), fmt="json", interval=30.0
+        ):
+            pass  # stop() always writes the final state
+        assert [p.name for p in tmp_path.iterdir()] == ["live.jsonl"]
+        assert load_jsonl(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Satellite: wall-clock anchor on run_start
+# ---------------------------------------------------------------------------
+class TestWallStart:
+    def test_run_start_carries_iso_wall_start(self, journaled_run):
+        from datetime import datetime
+        _report, _path, events = journaled_run
+        run_start = next(
+            e for e in events if e["event"] == "run_start"
+        )
+        anchor = run_start["wall_start"]
+        parsed = datetime.fromisoformat(anchor)
+        assert parsed.tzinfo is not None  # UTC-anchored, not naive
+        # The journal's own wall_start is what got stamped.
+        assert isinstance(anchor, str) and "T" in anchor
+
+    def test_null_journal_has_no_anchor(self):
+        assert NullJournal().wall_start is None
+
+    def test_replay_unaffected_by_wall_start(self, journaled_run):
+        # Byte-identity of the replayed report over a journal carrying
+        # the new field (replay treats it as envelope, not state).
+        report, path, _events = journaled_run
+        assert replay_system_report(read_journal(path)) == report
