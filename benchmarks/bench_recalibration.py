@@ -1,0 +1,231 @@
+"""Recalibration perf harness: incremental-rebuild speedups vs drift.
+
+Times a from-scratch DP construction against a subtree-memoized
+incremental rebuild (``repro.algorithms.incremental``) for both exact
+semantics across a drift-locality sweep: the fraction of the nonzero
+support whose counts move between builds ranges from 1% to 100%.  The
+incremental path must be *bit-identical* to the full build — every
+point asserts curve-byte equality — so the only thing measured is how
+much of the previous build's DP state the memo lets the rebuild skip.
+
+Timings are construction-only (the ``PrunedHierarchy`` build is timed
+separately and reported per workload): the full leg times ``build()``
+alone; the incremental leg times session creation + build + memo
+finish.  All full-build repetitions run consecutively, then all
+incremental repetitions, and each leg reports the minimum — the memo
+arena is patched in place, so between incremental reps the harness
+rebuilds back to the baseline counts (untimed) to restore the
+previous-build state.
+
+Usage::
+
+    python benchmarks/bench_recalibration.py               # full grid
+    python benchmarks/bench_recalibration.py --grid tiny   # CI smoke
+    python benchmarks/bench_recalibration.py --out /tmp/recal.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import PrunedHierarchy, UIDDomain, get_metric
+from repro.algorithms import incremental as incmod
+from repro.algorithms.construct import build
+from repro.data import TrafficModel, generate_subnet_table, generate_trace
+
+SCHEMA = "repro.bench_recalibration.v1"
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_recalibration.json",
+)
+
+#: (algorithm, height, packets, budget) workload rows.  The traffic
+#: model matches bench_kernel.py's dense zipf mix — high active
+#: fraction keeps the pruned hierarchy deep, which is the regime where
+#: construction (and therefore recalibration) is expensive.
+FULL_GRID: List[Tuple[str, int, int, int]] = [
+    ("nonoverlapping", 18, 800_000, 400),
+    ("overlapping", 15, 600_000, 96),
+]
+TINY_GRID: List[Tuple[str, int, int, int]] = [
+    ("nonoverlapping", 10, 30_000, 16),
+    ("overlapping", 10, 30_000, 10),
+]
+
+#: Fraction of the nonzero support drifted between builds.
+DRIFT_FRACTIONS = [0.01, 0.10, 0.50, 1.00]
+
+REPS = 5
+
+
+def _workload(height: int, packets: int):
+    table = generate_subnet_table(UIDDomain(height), seed=7)
+    model = TrafficModel(
+        mode="zipf", active_fraction=0.95, zipf_exponent=1.1
+    )
+    uids = generate_trace(table, packets, seed=11, model=model)
+    return table, table.counts_from_uids(uids)
+
+
+def _drift(counts: np.ndarray, fraction: float) -> np.ndarray:
+    """Scale a contiguous ``fraction`` of the nonzero support.
+
+    The support is carved into 64 equal blocks and the first
+    ``round(fraction * 64)`` of them are doubled — localized drift that
+    preserves the nonzero mask, so the pruned structure (and therefore
+    the memo's same-structure fast path) survives every point.
+    """
+    out = counts.copy()
+    nz = np.nonzero(out)[0]
+    k = max(1, round(fraction * 64))
+    per = len(nz) // 64
+    out[nz[: k * per]] *= 2.0
+    return out
+
+
+def _build_with_memo(table, counts, algorithm, metric, budget, memo):
+    """One incremental build; returns (result, next_memo, stats)."""
+    h = PrunedHierarchy(table, counts)
+    session = incmod.new_session(algorithm, h, metric, budget, memo)
+    result = build(algorithm, h, metric, budget, memo=session)
+    return result, session.finish(), session.stats()
+
+
+def run_grid(grid: str) -> Dict[str, object]:
+    rows = TINY_GRID if grid == "tiny" else FULL_GRID
+    metric = get_metric("rms")
+    points: List[Dict[str, object]] = []
+    for algorithm, height, packets, budget in rows:
+        table, counts = _workload(height, packets)
+        t0 = time.perf_counter()
+        hierarchy = PrunedHierarchy(table, counts)
+        hierarchy_seconds = time.perf_counter() - t0
+        workload = {
+            "algorithm": algorithm,
+            "height": height,
+            "packets": packets,
+            "budget": budget,
+            "groups": table.num_groups,
+            "pruned_nodes": len(hierarchy.nodes),
+            "nonzero_groups": int(np.count_nonzero(counts)),
+            "traffic": "zipf(active=0.95, s=1.1)",
+            "hierarchy_seconds": round(hierarchy_seconds, 6),
+        }
+        print(
+            f"{algorithm} h={height} B={budget} "
+            f"nodes={workload['pruned_nodes']} "
+            f"(hierarchy {hierarchy_seconds * 1e3:.1f} ms)"
+        )
+        for fraction in DRIFT_FRACTIONS:
+            drifted = _drift(counts, fraction)
+            # Full-build leg: consecutive reps, construction only.
+            full_times = []
+            full_result = None
+            for _ in range(REPS):
+                h = PrunedHierarchy(table, drifted)
+                t0 = time.perf_counter()
+                full_result = build(algorithm, h, metric, budget)
+                full_times.append(time.perf_counter() - t0)
+            # Incremental leg: memo seeded from a baseline build
+            # (untimed); each rep rebuilds back to baseline between
+            # timings because the memo arena is patched in place.
+            _, memo, _ = _build_with_memo(
+                table, counts, algorithm, metric, budget, None
+            )
+            inc_times = []
+            inc_result = None
+            stats: Dict[str, float] = {}
+            for _ in range(REPS):
+                h = PrunedHierarchy(table, drifted)
+                session = incmod.new_session(
+                    algorithm, h, metric, budget, memo
+                )
+                t0 = time.perf_counter()
+                inc_result = build(
+                    algorithm, h, metric, budget, memo=session
+                )
+                after = session.finish()
+                inc_times.append(time.perf_counter() - t0)
+                stats = session.stats()
+                _, memo, _ = _build_with_memo(
+                    table, counts, algorithm, metric, budget, after
+                )
+            identical = (
+                full_result.curve.tobytes() == inc_result.curve.tobytes()
+            )
+            if not identical:
+                raise AssertionError(
+                    f"incremental curve diverged: {algorithm} "
+                    f"drift={fraction}"
+                )
+            full_s = min(full_times)
+            inc_s = min(inc_times)
+            point = {
+                "workload": workload,
+                "drift_fraction": fraction,
+                "full_seconds": round(full_s, 6),
+                "incremental_seconds": round(inc_s, 6),
+                "speedup": round(full_s / inc_s, 3),
+                "identical": identical,
+                "dirty_subtrees": stats["dirty_subtrees"],
+                "reused_subtrees": stats["reused_subtrees"],
+                "reused_fraction": round(stats["reused_fraction"], 4),
+            }
+            points.append(point)
+            print(
+                f"  drift={fraction:.2f}: full={full_s * 1e3:.1f}ms "
+                f"inc={inc_s * 1e3:.1f}ms ({point['speedup']}x, "
+                f"reused={point['reused_fraction']:.3f}, "
+                f"identical={identical})"
+            )
+    low_drift = {}
+    for p in points:
+        if p["drift_fraction"] <= 0.10:
+            alg = p["workload"]["algorithm"]
+            key = f"{alg}@{p['drift_fraction']}"
+            low_drift[key] = p["speedup"]
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_recalibration.py",
+        "grid": grid,
+        "drift_fractions": DRIFT_FRACTIONS,
+        "reps": REPS,
+        "points": points,
+        "low_drift_speedups": low_drift,
+    }
+
+
+def write_report(doc: Dict[str, object], out: str) -> str:
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--grid", choices=("tiny", "full"), default="full",
+        help="workload grid: 'tiny' is the CI smoke grid",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help="output JSON path (default: repo-root "
+             "BENCH_recalibration.json)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_grid(args.grid)
+    path = write_report(doc, args.out)
+    print(f"wrote {os.path.abspath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -228,6 +228,59 @@ class DPContext:
             out[i] = pens @ weight if is_sum else pens.max()
         return out
 
+    def grperr_rows(
+        self, idx: np.ndarray, densities: np.ndarray
+    ) -> np.ndarray:
+        """Stacked :meth:`grperr_many` over many nodes.
+
+        ``densities`` is either one shared density vector ``(D,)`` or a
+        per-node matrix ``(K, D)`` aligned with ``idx``.  Row ``k``
+        equals ``grperr_many(nodes[idx[k]], densities[k])`` bit for
+        bit: the suffstats and single-leaf paths broadcast the same
+        elementwise penalty expressions over a ``(K, D)`` grid (IEEE
+        elementwise operations are shape-independent), and longer leaf
+        slices fall back to the per-node evaluation verbatim.  The
+        incremental overlapping rebuild uses this to re-condition every
+        base node's dirty-ancestor rows in one call.  Batched modes
+        only.
+        """
+        d = np.asarray(densities, dtype=np.float64)
+        idx = np.asarray(idx)
+        if d.ndim == 1:
+            d = np.broadcast_to(d[None, :], (idx.shape[0], d.shape[0]))
+        out = np.zeros((idx.shape[0], d.shape[1]))
+        lo, hi = self.leaf_lo[idx], self.leaf_hi[idx]
+        if self._stats_prefix is not None:
+            rows = np.nonzero(hi > lo)[0]
+            if rows.size:
+                stats = tuple(
+                    (P[hi[rows]] - P[lo[rows]])[:, None]
+                    for P in self._stats_prefix
+                )
+                out[rows] = np.asarray(
+                    self.metric.penalty_from_stats(stats, d[rows]),
+                    dtype=np.float64,
+                )
+            return out
+        is_sum = self.metric.combine == "sum"
+        lengths = hi - lo
+        single = np.nonzero(lengths == 1)[0]
+        if single.size:
+            pens = self.metric.penalty_array(
+                self.leaf_actual[lo[single]][:, None], d[single]
+            )
+            out[single] = (
+                pens * self.leaf_weight[lo[single]][:, None]
+                if is_sum
+                else pens
+            )
+        multi = np.nonzero(lengths > 1)[0]
+        if multi.size:
+            nodes = self.hierarchy.nodes
+            for k in multi.tolist():
+                out[k] = self.grperr_many(nodes[int(idx[k])], d[k])
+        return out
+
     def grperr_own(self, pnode: PNode) -> float:
         """``grperr`` at the node's own density — the error of making
         ``pnode`` a bucket in a nonoverlapping cut.
@@ -268,22 +321,55 @@ class DPContext:
             hierarchy._dp_densities = dens
         return dens
 
-    def _compute_own_errors(self) -> np.ndarray:
+    def splice_own_errors(
+        self, prev: np.ndarray, dirty_idx: np.ndarray
+    ) -> None:
+        """Seed the own-error cache from a previous build over the same
+        pruned structure, recomputing only the ``dirty_idx`` rows.
+
+        A clean row's own error is a function of its subtree's counts
+        alone — the same invariant that lets incremental rebuilds splice
+        whole DP tables — and the subset pass runs the identical
+        row-independent kernels as the full pass, so the seeded array
+        matches a fresh :meth:`own_errors` bit for bit.
+        """
+        out = prev.copy()
+        dirty_idx = np.asarray(dirty_idx)
+        if dirty_idx.size:
+            vals = self._compute_own_errors(only=dirty_idx)
+            out[dirty_idx] = vals[dirty_idx]
+        self._own_err = out
+
+    def _compute_own_errors(
+        self, only: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         n = len(self.hierarchy.nodes)
         dens = self.node_densities()
         out = np.zeros(n)
         lo, hi = self.leaf_lo, self.leaf_hi
         if self._stats_prefix is not None:
             nonempty = hi > lo
-            stats = tuple(P[hi] - P[lo] for P in self._stats_prefix)
-            vals = np.asarray(
-                self.metric.penalty_from_stats(stats, dens), dtype=np.float64
+            if only is not None:
+                sel = np.zeros(n, dtype=bool)
+                sel[only] = True
+                nonempty = nonempty & sel
+            idx = np.nonzero(nonempty)[0]
+            stats = tuple(
+                P[hi[idx]] - P[lo[idx]] for P in self._stats_prefix
             )
-            out[nonempty] = vals[nonempty]
+            out[idx] = np.asarray(
+                self.metric.penalty_from_stats(stats, dens[idx]),
+                dtype=np.float64,
+            )
             return out
         is_sum = self.metric.combine == "sum"
         lengths = hi - lo
-        single = np.nonzero(lengths == 1)[0]
+        if only is not None:
+            only = np.asarray(only)
+            ls_only = lengths[only]
+            single = only[ls_only == 1]
+        else:
+            single = np.nonzero(lengths == 1)[0]
         if single.size:
             pens = self.metric.penalty_array(
                 self.leaf_actual[lo[single]], dens[single]
@@ -293,7 +379,10 @@ class DPContext:
             )
         pa = self.metric.penalty_array
         actual, weight = self.leaf_actual, self.leaf_weight
-        multi = np.nonzero(lengths > 1)[0]
+        if only is not None:
+            multi = only[ls_only > 1]
+        else:
+            multi = np.nonzero(lengths > 1)[0]
         if multi.size:
             # Nodes whose leaf slices share a length evaluate as one
             # stacked gather + penalty + reduction.  penalty_array is

@@ -36,9 +36,15 @@ def build(
     hierarchy: PrunedHierarchy,
     metric: PenaltyMetric,
     budget: int,
+    memo=None,
     **options,
 ) -> ConstructionResult:
     """Construct a partitioning function with the named algorithm.
+
+    ``memo`` is an optional incremental-rebuild session (see
+    :mod:`repro.algorithms.incremental`) forwarded to builders that
+    support subtree-memoized sweeps; it never changes the result, only
+    how much of the DP is re-run.
 
     >>> from repro.algorithms.construct import build  # doctest: +SKIP
     >>> result = build("lpm_greedy", hierarchy, metric, budget=100)
@@ -50,6 +56,8 @@ def build(
         raise KeyError(
             f"unknown construction algorithm {algorithm!r}; known: {known}"
         )
+    if memo is not None:
+        options = {**options, "memo": memo}
     with span(
         "build", algorithm=algorithm, budget=budget,
         nodes=len(hierarchy.nodes),

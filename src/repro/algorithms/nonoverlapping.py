@@ -42,6 +42,7 @@ def build_nonoverlapping(
     metric: PenaltyMetric,
     budget: int,
     low_memory: bool = False,
+    memo=None,
 ) -> ConstructionResult:
     """Construct the optimal nonoverlapping partitioning function.
 
@@ -60,6 +61,12 @@ def build_nonoverlapping(
         sets by re-running the DP recursively on the two subtrees of
         each chosen split.  Same optimum; reconstruction costs an extra
         O(depth) factor, which is why it is opt-in.
+    memo:
+        A :class:`~repro.algorithms.incremental.NonoverlappingSession`
+        for subtree-memoized rebuilds; its sweep replaces the full one
+        (splicing clean-subtree tables, re-merging only dirty nodes)
+        and is bit-identical to it.  Incompatible with ``low_memory``,
+        which keeps none of the arrays the memo splices.
 
     Returns
     -------
@@ -69,14 +76,20 @@ def build_nonoverlapping(
     """
     if budget < 1:
         raise ValueError(f"budget must be at least 1, got {budget}")
+    if memo is not None and low_memory:
+        raise ValueError("incremental rebuilds require split tables; "
+                         "low_memory drops them")
     ctx = DPContext(hierarchy, metric)
     with span(
         "dp.nonoverlapping.sweep", budget=budget,
         nodes=len(hierarchy.nodes), low_memory=low_memory,
     ) as sp:
-        root_table, splits = _sweep(
-            hierarchy.root, ctx, budget, keep_splits=not low_memory
-        )
+        if memo is not None:
+            root_table, splits = memo.sweep(hierarchy.root, ctx, budget)
+        else:
+            root_table, splits = _sweep(
+                hierarchy.root, ctx, budget, keep_splits=not low_memory
+            )
         sp.annotate(root_entries=int(len(root_table)) - 1)
     curve = np.full(budget + 1, INF)
     upto = min(budget, len(root_table) - 1)
@@ -134,15 +147,109 @@ def _sweep(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
             tables[p.index] = table
             continue
         left, right = tables.pop(p.left.index), tables.pop(p.right.index)
-        table, split = knapsack_merge(left, right, budget, ctx.metric.combine)
-        one_bucket = ctx.grperr_own(p)
-        if one_bucket < table[1]:
-            table[1] = one_bucket
-            split[1] = -1  # sentinel: this node is the bucket
+        table, split = _merge_node_naive(ctx, p, left, right, budget)
         tables[p.index] = table
         if keep_splits:
             splits[p.index] = split
     return tables[root.index], splits
+
+
+def _merge_node_naive(ctx: DPContext, p: PNode, left, right, budget: int):
+    """One naive-mode internal-node step: knapsack merge of the child
+    tables plus the own-bucket overlay at ``B == 1``."""
+    table, split = knapsack_merge(left, right, budget, ctx.metric.combine)
+    one_bucket = ctx.grperr_own(p)
+    if one_bucket < table[1]:
+        table[1] = one_bucket
+        split[1] = -1  # sentinel: this node is the bucket
+    return table, split
+
+
+def _shared_split_cache():
+    """A fresh cache of shared constant split arrays for the fast
+    path's closed-form cases (contents depend only on case + size)."""
+    shared: Dict[tuple, np.ndarray] = {}
+
+    def _const_split(case: str, size: int) -> np.ndarray:
+        key = (case, size)
+        sp = shared.get(key)
+        if sp is None:
+            sp = np.empty(size, dtype=np.int32)
+            sp[0] = -1
+            sp[1] = -1
+            if size > 2:
+                if case == "rl":  # right child is the leaf
+                    sp[2:] = np.arange(1, size - 1, dtype=np.int32)
+                else:  # "lr": left child is the leaf, or leaf-leaf
+                    sp[2:] = 1
+            shared[key] = sp
+        return sp
+
+    return _const_split
+
+
+def _merge_node_fast(
+    own_p: float,
+    left_tab: Optional[np.ndarray],
+    right_tab: Optional[np.ndarray],
+    own_left: float,
+    own_right: float,
+    budget: int,
+    maximum: bool,
+    keep_splits: bool,
+    const_split,
+):
+    """One fast-mode internal-node step, bit-identical to the naive
+    merge.  Leaf children pass ``None`` tables (their virtual tables
+    are ``[inf, own]``); ``const_split`` is a
+    :func:`_shared_split_cache` closure for the closed-form cases."""
+    if left_tab is None and right_tab is None:
+        size = min(budget, 2) + 1
+        table = np.empty(size)
+        table[0] = INF
+        table[1] = own_p
+        if size == 3:
+            table[2] = (
+                max(own_left, own_right) if maximum
+                else own_left + own_right
+            )
+        split = const_split("lr", size) if keep_splits else None
+        return table, split
+    if left_tab is None or right_tab is None:
+        right_leaf = right_tab is None
+        if right_leaf:
+            inner, edge = left_tab, own_right
+        else:
+            inner, edge = right_tab, own_left
+        size = min(budget, len(inner)) + 1
+        table = np.empty(size)
+        table[0] = INF
+        table[1] = own_p
+        seg = inner[1 : size - 1]
+        table[2:] = np.maximum(seg, edge) if maximum else seg + edge
+        split = (
+            const_split("rl" if right_leaf else "lr", size)
+            if keep_splits else None
+        )
+        return table, split
+    size = min(budget, len(left_tab) + len(right_tab) - 2) + 1
+    table = np.empty(size)
+    table[0] = INF
+    table[1] = own_p
+    if size > 2:
+        vals, choice = _positive_merge(
+            left_tab[1:], right_tab[1:], size - 2, maximum,
+            want_choice=keep_splits,
+        )
+        table[2:] = vals
+    split = None
+    if keep_splits:
+        split = np.empty(size, dtype=np.int32)
+        split[0] = -1
+        split[1] = -1
+        if size > 2:
+            split[2:] = choice
+    return table, split
 
 
 def _sweep_fast(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
@@ -182,76 +289,28 @@ def _sweep_fast(root: PNode, ctx: DPContext, budget: int, keep_splits: bool):
             stack.append(p.left)
             stack.append(p.right)
     order.reverse()
+    const_split = _shared_split_cache()
     for p in order:
         node_left = p.left
         if node_left is None:  # leaf: tables are virtual (own errors)
             continue
         node_right = p.right
-        left_leaf = node_left.left is None
-        right_leaf = node_right.left is None
-        if left_leaf and right_leaf:
-            size = min(budget, 2) + 1
-            table = np.empty(size)
-            table[0] = INF
-            table[1] = own[p.index]
-            if size == 3:
-                l1, r1 = own[node_left.index], own[node_right.index]
-                table[2] = max(l1, r1) if maximum else l1 + r1
-            if keep_splits:
-                split = np.empty(size, dtype=np.int32)
-                split[0] = -1
-                split[1] = -1
-                if size == 3:
-                    split[2] = 1
-                splits[p.index] = split
-            tables[p.index] = table
-            continue
-        if right_leaf or left_leaf:
-            if right_leaf:
-                inner = tables.pop(node_left.index)
-                edge = own[node_right.index]
-            else:
-                inner = tables.pop(node_right.index)
-                edge = own[node_left.index]
-            size = min(budget, len(inner)) + 1
-            table = np.empty(size)
-            table[0] = INF
-            table[1] = own[p.index]
-            seg = inner[1 : size - 1]
-            table[2:] = np.maximum(seg, edge) if maximum else seg + edge
-            if keep_splits:
-                split = np.empty(size, dtype=np.int32)
-                split[0] = -1
-                split[1] = -1
-                if right_leaf:
-                    # c buckets to the (internal) left child, one to
-                    # the leaf: choice[B] = B - 1.
-                    split[2:] = np.arange(1, size - 1, dtype=np.int32)
-                else:
-                    split[2:] = 1
-                splits[p.index] = split
-            tables[p.index] = table
-            continue
-        left = tables.pop(node_left.index)
-        right = tables.pop(node_right.index)
-        size = min(budget, len(left) + len(right) - 2) + 1
-        table = np.empty(size)
-        table[0] = INF
-        table[1] = own[p.index]
-        if size > 2:
-            vals, choice = _positive_merge(
-                left[1:], right[1:], size - 2, maximum,
-                want_choice=keep_splits,
-            )
-            table[2:] = vals
-        if keep_splits:
-            split = np.empty(size, dtype=np.int32)
-            split[0] = -1
-            split[1] = -1
-            if size > 2:
-                split[2:] = choice
-            splits[p.index] = split
+        lt = (
+            tables.pop(node_left.index)
+            if node_left.left is not None else None
+        )
+        rt = (
+            tables.pop(node_right.index)
+            if node_right.left is not None else None
+        )
+        table, split = _merge_node_fast(
+            own[p.index], lt, rt,
+            own[node_left.index], own[node_right.index],
+            budget, maximum, keep_splits, const_split,
+        )
         tables[p.index] = table
+        if keep_splits:
+            splits[p.index] = split
     return tables[root.index], splits
 
 
@@ -318,22 +377,7 @@ def _sweep_fast_batched(ctx: DPContext, budget: int, keep_splits: bool):
     order = internal[np.argsort(phase[internal], kind="stable")]
     ph_sorted = phase[order]
     # Shared constant split arrays, one per (case, size).
-    shared_splits: Dict[tuple, np.ndarray] = {}
-
-    def _const_split(case: str, size: int) -> np.ndarray:
-        key = (case, size)
-        sp = shared_splits.get(key)
-        if sp is None:
-            sp = np.empty(size, dtype=np.int32)
-            sp[0] = -1
-            sp[1] = -1
-            if size > 2:
-                if case == "rl":  # right child is the leaf
-                    sp[2:] = np.arange(1, size - 1, dtype=np.int32)
-                else:  # "lr": left child is the leaf, or leaf-leaf
-                    sp[2:] = 1
-            shared_splits[key] = sp
-        return sp
+    _const_split = _shared_split_cache()
 
     pos = 0
     total = order.size

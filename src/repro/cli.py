@@ -289,7 +289,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     system = MonitoringSystem(
         table, get_metric(args.metric), num_monitors=args.monitors,
         algorithm=args.algorithm, budget=args.budget,
-        stale_policy=args.stale_policy, faults=faults,
+        stale_policy=args.stale_policy,
+        incremental=args.incremental_rebuilds, faults=faults,
         parallel=args.parallel,
     )
     with ExitStack() as stack:
@@ -536,6 +537,10 @@ def _parser() -> argparse.ArgumentParser:
                    default="strict",
                    help="how decode treats stale-version histograms "
                    "(default strict)")
+    s.add_argument("--incremental-rebuilds", action="store_true",
+                   help="subtree-memoized DP rebuilds: recalibrations "
+                   "re-solve only drifted subtrees (nonoverlapping/"
+                   "overlapping only; results are bit-identical)")
     s.add_argument("--stream-kernels", choices=STREAM_KERNEL_MODES,
                    default="fast",
                    help="serving-path kernels: compiled 'fast' (default) "

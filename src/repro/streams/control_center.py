@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..algorithms.construct import build
+from ..algorithms.incremental import new_session, supports_incremental
 from ..core.compiled import CompiledEstimator
 from ..core.errors import DistributiveErrorMetric, PenaltyMetric
 from ..core.estimate import reconstruct_estimates
@@ -101,6 +102,7 @@ class ControlCenter:
         budget: int = 100,
         cache_size: int = 8,
         stale_policy: str = "strict",
+        incremental: bool = False,
         **builder_options,
     ) -> None:
         if cache_size < 0:
@@ -124,6 +126,17 @@ class ControlCenter:
         self._function_cache: OrderedDict[bytes, PartitioningFunction] = (
             OrderedDict()
         )
+        #: Subtree-memoized incremental rebuilds (ROADMAP item 2): when
+        #: on, each DP rebuild re-solves only the subtrees whose counts
+        #: changed since the previous build and splices the rest from
+        #: the curve memo.  Results are bit-identical to full rebuilds;
+        #: the flag only changes how much of the sweep is re-run.  An
+        #: exact-fingerprint LRU hit still short-circuits everything,
+        #: including the memo refresh.
+        self.incremental = bool(incremental) and supports_incremental(
+            algorithm, builder_options
+        )
+        self._curve_memo = None
         #: Online quality bookkeeping (drift reference per function
         #: version); consulted by :meth:`decode_window` when metrics or
         #: the event journal are live.
@@ -178,22 +191,37 @@ class ControlCenter:
                         cached.size_bits()
                     )
                 return cached
+        inc_stats: Optional[Dict[str, float]] = None
         with span(
             "control.rebuild", algorithm=self.algorithm, budget=self.budget,
         ) as sp:
             hierarchy = PrunedHierarchy(self.table, counts)
+            session = None
+            if self.incremental:
+                session = new_session(
+                    self.algorithm, hierarchy, self.metric, self.budget,
+                    self._curve_memo, **self.builder_options,
+                )
             result = build(
                 self.algorithm, hierarchy, self.metric, self.budget,
-                **self.builder_options,
+                memo=session, **self.builder_options,
             )
             self.function = result.function_at(self.budget)
+            if session is not None:
+                self._curve_memo = session.finish()
+                inc_stats = session.stats()
+                sp.annotate(
+                    dirty_subtrees=inc_stats["dirty_subtrees"],
+                    reused_fraction=inc_stats["reused_fraction"],
+                )
             sp.annotate(
                 buckets=self.function.num_buckets,
                 function_bits=self.function.size_bits(),
             )
         self.function_version += 1
         self._journal_rebuild(
-            self.function, cache="miss" if key is not None else "off"
+            self.function, cache="miss" if key is not None else "off",
+            incremental=inc_stats,
         )
         if key is not None:
             self._function_cache[key] = self.function
@@ -203,6 +231,13 @@ class ControlCenter:
             registry.counter("control.rebuilds").inc()
             if key is not None:
                 registry.counter("control.rebuild.cache.misses").inc()
+            if inc_stats is not None:
+                registry.counter("control.rebuild.subtrees.dirty").inc(
+                    int(inc_stats["dirty_subtrees"])
+                )
+                registry.counter("control.rebuild.subtrees.reused").inc(
+                    int(inc_stats["reused_subtrees"])
+                )
             registry.gauge("control.function.buckets").set(
                 self.function.num_buckets
             )
@@ -212,16 +247,32 @@ class ControlCenter:
         return self.function
 
     def _journal_rebuild(
-        self, function: PartitioningFunction, cache: str
+        self,
+        function: PartitioningFunction,
+        cache: str,
+        incremental: Optional[Dict[str, float]] = None,
     ) -> None:
         journal = get_journal()
         if journal.enabled:
+            extra = {}
+            if incremental is not None:
+                # Only incremental rebuilds carry these fields, so
+                # journals written with the flag off stay byte-identical
+                # to previous releases; replay ignores rebuild events
+                # either way.
+                extra = {
+                    "dirty_subtrees": int(incremental["dirty_subtrees"]),
+                    "reused_fraction": float(
+                        incremental["reused_fraction"]
+                    ),
+                }
             journal.emit(
                 "rebuild",
                 version=self.function_version,
                 buckets=int(function.num_buckets),
                 function_bits=int(function.size_bits()),
                 cache=cache,
+                **extra,
             )
 
     # -- decoding ----------------------------------------------------------

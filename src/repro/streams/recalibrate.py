@@ -38,8 +38,9 @@ rejected (``"strict"``).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -85,6 +86,14 @@ class BucketDriftDetector:
         """Anchor the detector to the traffic the function was built
         for (typically the first live window after training)."""
         self._reference = self._normalize(histogram)
+        self._streak = 0
+
+    def reset(self) -> None:
+        """Drop the reference distribution (and any drift streak); the
+        next observed window re-anchors the detector.  Called after a
+        recalibration so drift is measured against the traffic the
+        *new* function serves, not the pre-rebuild baseline."""
+        self._reference = None
         self._streak = 0
 
     def score(self, histogram: Histogram) -> float:
@@ -144,7 +153,13 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
             raise ValueError("warehouse_windows must be at least 1")
         self.detector = detector or BucketDriftDetector()
         self.warehouse_windows = warehouse_windows
-        self._warehouse: List[np.ndarray] = []
+        # Bounded window log with a maintained running sum, so a
+        # rebuild reads its history counts in O(|G|) instead of
+        # re-summing the whole warehouse.  Exact for the integer-valued
+        # counts the system aggregates (float64 adds/subtracts of
+        # integers below 2**53 are lossless).
+        self._warehouse: Deque[np.ndarray] = deque(maxlen=warehouse_windows)
+        self._warehouse_sum: Optional[np.ndarray] = None
 
     def _install(self, counts: np.ndarray) -> None:
         """Rebuild and push the new function to the fleet — best
@@ -170,9 +185,12 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
         report: SystemReport,
     ) -> None:
         # Warehouse logging (non-real-time in a deployment).
+        if self._warehouse_sum is None:
+            self._warehouse_sum = np.zeros_like(actual, dtype=np.float64)
+        if len(self._warehouse) == self.warehouse_windows:
+            self._warehouse_sum -= self._warehouse[0]  # about to evict
         self._warehouse.append(actual)
-        if len(self._warehouse) > self.warehouse_windows:
-            self._warehouse.pop(0)
+        self._warehouse_sum += actual
         # Drift decision from the (deduplicated, current-version)
         # histogram stream alone.
         rebuild = self.detector.observe(decoded.merged)
@@ -188,9 +206,11 @@ class AdaptiveMonitoringSystem(MonitoringSystem):
                 "drift", window=window, score=self.detector.last_score
             )
         if rebuild:
-            history = np.sum(self._warehouse, axis=0)
+            # Copy: the running sum mutates in place every window, and
+            # the rebuild path fingerprints / retains what we hand it.
+            history = self._warehouse_sum.copy()
             self._install(history)
-            self.detector._reference = None  # re-anchor next window
+            self.detector.reset()  # re-anchor next window
             report.rebuilds.append(window)
             if registry.enabled:
                 registry.counter("system.recalibrations").inc()

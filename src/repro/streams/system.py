@@ -150,6 +150,7 @@ class MonitoringSystem:
         budget: int = 100,
         cache_size: int = 8,
         stale_policy: str = "strict",
+        incremental: bool = False,
         faults: Optional[FaultModel] = None,
         max_install_attempts: int = 64,
         parallel: int = 1,
@@ -169,7 +170,7 @@ class MonitoringSystem:
         self.control_center = ControlCenter(
             table, metric, algorithm=algorithm, budget=budget,
             cache_size=cache_size, stale_policy=stale_policy,
-            **builder_options,
+            incremental=incremental, **builder_options,
         )
         self.monitors = [Monitor(f"monitor-{i}") for i in range(num_monitors)]
         self.faults = faults

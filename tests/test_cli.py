@@ -282,3 +282,31 @@ class TestTracingAndSLOs:
             "--journal", journal, "--slo-file", str(rules),
         ]) == 0
         assert "slo alerts" in capsys.readouterr().out
+
+
+class TestIncrementalRebuilds:
+    def test_flag_accepted_and_output_unchanged(self, capsys):
+        args = SIMULATE_SMALL + ["--algorithm", "nonoverlapping"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--incremental-rebuilds"]) == 0
+        incremental = capsys.readouterr().out
+        # Incremental rebuilds are bit-identical, so the report is too.
+        assert incremental == plain
+
+    def test_flag_off_by_default_journal_has_no_memo_fields(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        journal = str(tmp_path / "run.journal")
+        assert main(SIMULATE_SMALL + ["--algorithm", "nonoverlapping",
+                                      "--journal", journal]) == 0
+        capsys.readouterr()
+        with open(journal) as f:
+            events = [json.loads(line) for line in f]
+        rebuilds = [e for e in events if e["event"] == "rebuild"]
+        assert rebuilds
+        for event in rebuilds:
+            assert "dirty_subtrees" not in event
+            assert "reused_fraction" not in event

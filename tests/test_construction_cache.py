@@ -131,3 +131,44 @@ def test_retrain_same_history_is_memoized(workload):
     assert system.control_center.function_version == version_after_first + 1
     for monitor in system.monitors:
         assert monitor.function_version == version_after_first + 1
+
+
+def test_lru_hit_short_circuits_incremental_path(workload, tmp_path):
+    """Precedence pin: an exact-fingerprint LRU hit wins over the
+    incremental path — construction is skipped entirely, the curve memo
+    is left untouched, and the journal still says ``cache="hit"`` while
+    the version advances, exactly as for a non-incremental center."""
+    from repro.obs import EventJournal, read_journal, use_journal
+
+    table, _history, _live = workload
+    center = ControlCenter(
+        table, get_metric("rms"), algorithm="nonoverlapping", budget=20,
+        incremental=True,
+    )
+    rng = np.random.default_rng(7)
+    counts_a = _counts(table, rng)
+    counts_b = _counts(table, rng)
+    center.rebuild_function(counts_a)
+    center.rebuild_function(counts_b)
+    memo_before = center._curve_memo
+    assert memo_before is not None
+    version_before = center.function_version
+    registry = MetricsRegistry()
+    journal_path = str(tmp_path / "hit.journal")
+    with use_registry(registry), use_journal(EventJournal(journal_path)):
+        returned = center.rebuild_function(counts_a)  # exact repeat
+    assert registry.counter("control.rebuild.cache.hits").value == 1
+    assert registry.counter("control.rebuild.subtrees.dirty").value == 0
+    assert registry.counter("control.rebuild.subtrees.reused").value == 0
+    assert center.function_version == version_before + 1
+    # The memo still reflects the *last built* counts (B), not A: the
+    # hit bypassed the incremental machinery entirely.
+    assert center._curve_memo is memo_before
+    np.testing.assert_array_equal(memo_before.counts, counts_b)
+    (event,) = [
+        e for e in read_journal(journal_path) if e["event"] == "rebuild"
+    ]
+    assert event["cache"] == "hit"
+    assert "dirty_subtrees" not in event
+    assert "reused_fraction" not in event
+    assert returned is center.function

@@ -1,0 +1,265 @@
+"""Incremental (subtree-memoized) rebuilds must be bit-identical to
+from-scratch builds.
+
+The memo splices previous-build DP arrays for subtrees whose content
+fingerprint is unchanged; because those arrays are exactly what an
+identical solve on identical content produces, the curve bytes and the
+reconstructed bucket lists must match a full rebuild with zero
+tolerance — for both semantics, all three kernel modes, and arbitrary
+count perturbations including ones that change the pruned structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import UIDDomain, get_metric
+from repro.algorithms import incremental as incmod
+from repro.algorithms.construct import build
+from repro.algorithms.kernels import use_kernel_mode
+from repro.algorithms.nonoverlapping import build_nonoverlapping
+from repro.core.hierarchy import PrunedHierarchy
+from repro.data import generate_subnet_table
+from repro.obs import (
+    EventJournal,
+    MetricsRegistry,
+    read_journal,
+    use_journal,
+    use_registry,
+)
+from repro.streams import ControlCenter
+
+MODES = ("naive", "fast", "suffstats")
+BUDGETS = {"nonoverlapping": 16, "overlapping": 10}
+
+TABLE = generate_subnet_table(UIDDomain(10), seed=5)
+METRIC = get_metric("rms")
+
+
+def _base_counts(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 60, len(TABLE)).astype(float)
+
+
+def _buckets(fn):
+    return [
+        (b.node, getattr(b, "sparse_group_node", None)) for b in fn.buckets
+    ]
+
+
+def _check_pair(algorithm, counts, memo, **options):
+    """Build full + incremental from the same counts; assert
+    bit-identity and return the refreshed memo + session stats."""
+    budget = BUDGETS[algorithm]
+    h_full = PrunedHierarchy(TABLE, counts)
+    full = build(algorithm, h_full, METRIC, budget, **options)
+    h_inc = PrunedHierarchy(TABLE, counts)
+    session = incmod.new_session(
+        algorithm, h_inc, METRIC, budget, memo, **options
+    )
+    incr = build(algorithm, h_inc, METRIC, budget, memo=session, **options)
+    assert full.curve.tobytes() == incr.curve.tobytes()
+    for b in (1, 3, budget):
+        assert _buckets(full.function_at(b)) == _buckets(
+            incr.function_at(b)
+        )
+    return session.finish(), session.stats()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize(
+        "algorithm", ("nonoverlapping", "overlapping")
+    )
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_random_perturbation_chain(self, mode, algorithm, data):
+        counts = _base_counts()
+        n = len(counts)
+        with use_kernel_mode(mode):
+            memo, _ = _check_pair(algorithm, counts, None)
+            steps = data.draw(st.integers(1, 3))
+            for _ in range(steps):
+                idx = data.draw(
+                    st.lists(
+                        st.integers(0, n - 1), min_size=1, max_size=12,
+                        unique=True,
+                    )
+                )
+                vals = data.draw(
+                    st.lists(
+                        st.integers(0, 200),  # 0 changes pruned shape
+                        min_size=len(idx), max_size=len(idx),
+                    )
+                )
+                counts = counts.copy()
+                counts[idx] = np.asarray(vals, dtype=float)
+                if counts.sum() == 0:
+                    counts[0] = 1.0  # empty windows are not built
+                memo, _ = _check_pair(algorithm, counts, memo)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_localized_drift_reuses_subtrees(self, mode):
+        counts = _base_counts()
+        with use_kernel_mode(mode):
+            for algorithm in ("nonoverlapping", "overlapping"):
+                memo, first = _check_pair(algorithm, counts, None)
+                assert first["reused_subtrees"] == 0  # cold start
+                drifted = counts.copy()
+                nz = np.nonzero(drifted)[0]
+                drifted[nz[:3]] *= 2.0
+                _, stats = _check_pair(algorithm, drifted, memo)
+                assert stats["dirty_groups"] == 3
+                assert stats["reused_fraction"] > 0.3
+                assert stats["dirty_subtrees"] > 0
+
+    def test_identical_counts_reuse_everything(self):
+        counts = _base_counts()
+        memo, _ = _check_pair("nonoverlapping", counts, None)
+        _, stats = _check_pair("nonoverlapping", counts.copy(), memo)
+        assert stats["dirty_subtrees"] == 0
+        assert stats["reused_fraction"] == 1.0
+        assert stats["dirty_groups"] == 0
+
+    def test_overlapping_sparse_off_round_trips(self):
+        counts = _base_counts()
+        memo, _ = _check_pair("overlapping", counts, None, sparse=False)
+        drifted = counts.copy()
+        drifted[np.nonzero(drifted)[0][:2]] += 7.0
+        _, stats = _check_pair(
+            "overlapping", drifted, memo, sparse=False
+        )
+        assert stats["reused_subtrees"] > 0
+
+
+class TestMemoKeying:
+    def test_config_change_invalidates_memo(self):
+        counts = _base_counts()
+        memo, _ = _check_pair("nonoverlapping", counts, None)
+        # Same counts, different budget: nothing may be spliced.
+        h = PrunedHierarchy(TABLE, counts)
+        session = incmod.new_session(
+            "nonoverlapping", h, METRIC, BUDGETS["nonoverlapping"] + 4,
+            memo,
+        )
+        build_nonoverlapping(
+            h, METRIC, BUDGETS["nonoverlapping"] + 4, memo=session
+        )
+        assert session.stats()["reused_subtrees"] == 0
+
+    def test_kernel_mode_is_part_of_the_key(self):
+        # suffstats grperr values are ~1e-12 off the other modes', so a
+        # memo recorded under one mode must not leak into another.
+        counts = _base_counts()
+        with use_kernel_mode("fast"):
+            memo, _ = _check_pair("nonoverlapping", counts, None)
+        with use_kernel_mode("suffstats"):
+            _, stats = _check_pair("nonoverlapping", counts, memo)
+        assert stats["reused_subtrees"] == 0
+
+    def test_unsupported_algorithms_are_rejected(self):
+        assert not incmod.supports_incremental("lpm_greedy", {})
+        assert not incmod.supports_incremental(
+            "nonoverlapping", {"low_memory": True}
+        )
+        assert incmod.supports_incremental("overlapping", {})
+        h = PrunedHierarchy(TABLE, _base_counts())
+        with pytest.raises(ValueError):
+            incmod.new_session("lpm_greedy", h, METRIC, 8, None)
+
+    def test_low_memory_with_memo_rejected(self):
+        h = PrunedHierarchy(TABLE, _base_counts())
+        session = incmod.new_session(
+            "nonoverlapping", h, METRIC, 8, None
+        )
+        with pytest.raises(ValueError):
+            build_nonoverlapping(h, METRIC, 8, low_memory=True,
+                                 memo=session)
+
+    def test_fingerprints_track_content_not_position(self):
+        counts = _base_counts()
+        h1 = PrunedHierarchy(TABLE, counts)
+        h2 = PrunedHierarchy(TABLE, counts.copy())
+        fp1 = incmod.subtree_fingerprints(h1)
+        fp2 = incmod.subtree_fingerprints(h2)
+        assert fp1 == fp2
+        drifted = counts.copy()
+        g = np.nonzero(drifted)[0][0]
+        drifted[g] += 1.0
+        fp3 = incmod.subtree_fingerprints(PrunedHierarchy(TABLE, drifted))
+        assert fp3[-1] != fp1[-1]  # root fingerprint moved
+        changed = sum(1 for a, b in zip(fp1, fp3) if a != b)
+        assert 0 < changed < len(fp1)  # but only the dirty spine
+
+
+class TestControlCenterIncremental:
+    def _counts_pair(self):
+        counts1 = _base_counts(seed=3)
+        counts2 = counts1.copy()
+        counts2[np.nonzero(counts2)[0][:4]] *= 3.0
+        return counts1, counts2
+
+    def test_journal_and_counters(self, tmp_path):
+        counts1, counts2 = self._counts_pair()
+        registry = MetricsRegistry()
+        path = str(tmp_path / "inc.journal")
+        with use_registry(registry), use_journal(EventJournal(path)):
+            center = ControlCenter(
+                TABLE, METRIC, algorithm="nonoverlapping", budget=16,
+                incremental=True,
+            )
+            center.rebuild_function(counts1)
+            center.rebuild_function(counts2)
+        rebuilds = [
+            e for e in read_journal(path) if e["event"] == "rebuild"
+        ]
+        assert len(rebuilds) == 2
+        for event in rebuilds:
+            assert "dirty_subtrees" in event
+            assert "reused_fraction" in event
+        assert rebuilds[0]["reused_fraction"] == 0.0
+        assert rebuilds[1]["reused_fraction"] > 0.0
+        assert registry.counter("control.rebuild.subtrees.reused").value > 0
+        assert registry.counter("control.rebuild.subtrees.dirty").value > 0
+
+    def test_flag_off_journal_has_no_incremental_fields(self, tmp_path):
+        counts1, counts2 = self._counts_pair()
+        path = str(tmp_path / "plain.journal")
+        with use_journal(EventJournal(path)):
+            center = ControlCenter(
+                TABLE, METRIC, algorithm="nonoverlapping", budget=16,
+            )
+            center.rebuild_function(counts1)
+            center.rebuild_function(counts2)
+        for event in read_journal(path):
+            if event["event"] == "rebuild":
+                assert "dirty_subtrees" not in event
+                assert "reused_fraction" not in event
+
+    def test_functions_identical_with_and_without_flag(self):
+        counts1, counts2 = self._counts_pair()
+        for algorithm in ("nonoverlapping", "overlapping"):
+            plain = ControlCenter(
+                TABLE, METRIC, algorithm=algorithm, budget=12,
+            )
+            inc = ControlCenter(
+                TABLE, METRIC, algorithm=algorithm, budget=12,
+                incremental=True,
+            )
+            for counts in (counts1, counts2, counts1 * 2.0):
+                f_plain = plain.rebuild_function(counts)
+                f_inc = inc.rebuild_function(counts)
+                assert _buckets(f_plain) == _buckets(f_inc)
+                assert plain.function_version == inc.function_version
+
+    def test_incremental_with_unsupported_algorithm_is_inert(self):
+        counts1, counts2 = self._counts_pair()
+        center = ControlCenter(
+            TABLE, METRIC, algorithm="lpm_greedy", budget=12,
+            incremental=True,
+        )
+        assert not center.incremental  # silently degraded to full
+        center.rebuild_function(counts1)
+        center.rebuild_function(counts2)
+        assert center._curve_memo is None

@@ -191,3 +191,68 @@ class TestPartialInstall:
         assert any(
             w.monitors_reporting == 2 for w in report.windows
         )
+
+
+class TestDetectorReset:
+    def test_reset_drops_reference_and_streak(self):
+        d = BucketDriftDetector(threshold=0.3, patience=2)
+        d.observe(Histogram({1: 100.0}))
+        assert not d.observe(Histogram({2: 100.0}))  # streak = 1
+        d.reset()
+        assert d._reference is None
+        assert d._streak == 0
+        # next window re-anchors instead of firing
+        assert not d.observe(Histogram({2: 100.0}))
+        assert d._reference is not None
+
+    def test_reset_then_observe_measures_against_new_anchor(self):
+        d = BucketDriftDetector(threshold=0.3, patience=1)
+        d.observe(Histogram({1: 100.0}))
+        d.reset()
+        d.observe(Histogram({2: 100.0}))      # new reference
+        assert not d.observe(Histogram({2: 100.0}))
+        assert d.last_score == pytest.approx(0.0)
+
+
+class TestWarehouse:
+    def _run(self, **kwargs):
+        table, trace = _drifting_workload()
+        kwargs.setdefault("algorithm", "lpm_greedy")
+        system = AdaptiveMonitoringSystem(
+            table, get_metric("rms"), num_monitors=2, budget=40,
+            detector=BucketDriftDetector(threshold=0.3, patience=1),
+            **kwargs,
+        )
+        system.train(trace.slice_time(0, 15))
+        report = system.run(trace.slice_time(15, 60), window_width=5.0)
+        return system, report
+
+    def test_warehouse_bounded_and_sum_maintained(self):
+        system, report = self._run(warehouse_windows=3)
+        assert len(report.windows) > 3
+        assert len(system._warehouse) == 3  # deque maxlen enforced
+        np.testing.assert_array_equal(
+            system._warehouse_sum,
+            np.sum(np.stack(list(system._warehouse)), axis=0),
+        )
+
+    def test_single_window_warehouse(self):
+        system, _report = self._run(warehouse_windows=1)
+        assert len(system._warehouse) == 1
+        np.testing.assert_array_equal(
+            system._warehouse_sum, system._warehouse[0]
+        )
+
+    def test_incremental_adaptive_report_identical(self):
+        """End-to-end: recalibrations through the subtree memo produce
+        the same report as full rebuilds."""
+        full_sys, full = self._run(algorithm="nonoverlapping")
+        inc_sys, inc = self._run(algorithm="nonoverlapping",
+                                 incremental=True)
+        assert inc_sys.control_center.incremental
+        assert full.rebuilds == inc.rebuilds
+        assert full.drift_scores == inc.drift_scores
+        assert [w.error for w in full.windows] == [
+            w.error for w in inc.windows
+        ]
+        assert full.function_bytes == inc.function_bytes
