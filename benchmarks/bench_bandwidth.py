@@ -1,72 +1,189 @@
-"""Ablation A5: end-to-end bandwidth vs. accuracy (paper Figure 1).
+"""Ablation A5: end-to-end bandwidth vs. accuracy, v1 vs v2 wire.
 
 Runs the full monitoring pipeline — train a partitioning function on
 history, stream live windows through Monitors, reconstruct at the
-Control Center — and records accuracy against bytes shipped, compared
-with shipping raw identifiers.  This is the system-level claim the
-histograms exist to serve.
+Control Center — once per wire format on identical traffic, and
+records accuracy against bytes shipped, compared with shipping raw
+identifiers.  Two claims are checked at every grid point, not just
+reported:
+
+* the estimates are **bit-identical** across wire formats (the format
+  changes the bytes on the link, never the answer);
+* the v2 payloads (delta-encoded node ids, self-describing narrow
+  counters) are never larger than v1's modelled fixed-width pairs.
+
+Results land in ``BENCH_bandwidth.json`` at the repo root so wire PRs
+have a recorded size trajectory.
+
+Usage::
+
+    python benchmarks/bench_bandwidth.py               # full grid
+    python benchmarks/bench_bandwidth.py --grid tiny   # CI smoke grid
+    python benchmarks/bench_bandwidth.py --out /tmp/bench.json
 """
 
-import numpy as np
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Optional
 
 from repro import UIDDomain, get_metric
 from repro.data import TrafficModel, generate_subnet_table
 from repro.data.traffic import generate_timestamped_trace
 from repro.streams import MonitoringSystem, Trace
 
-from workloads import format_table, save_series
+SCHEMA = "repro.bench_bandwidth.v2"
 
-BUDGETS = [10, 50, 200]
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_bandwidth.json",
+)
+
+#: (height, packets, duration_s, window_width_s, budgets) grid rows.
+FULL_SIZES = [
+    (12, 200_000, 40.0, 5.0, [10, 50, 200]),
+    (16, 600_000, 60.0, 10.0, [10, 50, 200]),
+]
+TINY_SIZES = [(10, 40_000, 20.0, 5.0, [10, 40])]
+
+WIRE_FORMATS = ("v1", "v2")
 
 
-def _traces():
-    dom = UIDDomain(16)
+def _traces(height: int, packets: int, duration: float):
+    dom = UIDDomain(height)
     table = generate_subnet_table(dom, seed=61)
     ts, uids = generate_timestamped_trace(
-        table, 600_000, duration=60.0, seed=62, model=TrafficModel()
+        table, packets, duration=duration, seed=62, model=TrafficModel()
     )
     trace = Trace(ts, uids)
-    return table, trace.slice_time(0, 30), trace.slice_time(30, 60)
+    half = duration / 2
+    return table, trace.slice_time(0, half), trace.slice_time(half, duration)
 
 
-def test_bandwidth_accuracy(benchmark):
-    table, history, live = _traces()
-    metric = get_metric("rms")
-    rows = []
-    prev_error = np.inf
-    for budget in BUDGETS:
-        system = MonitoringSystem(
-            table, metric, num_monitors=4,
-            algorithm="lpm_greedy", budget=budget,
-        )
-        system.train(history)
-        report = system.run(live, window_width=10.0)
-        rows.append([
-            budget,
-            report.mean_error,
-            report.upstream_bytes,
-            report.function_bytes,
-            report.raw_bytes,
-            round(report.compression_ratio, 1),
-        ])
-        assert report.compression_ratio > 1.0
-        prev_error = min(prev_error, report.mean_error)
-    header = ["budget", "mean_error", "hist_bytes", "function_bytes",
-              "raw_bytes", "compression"]
-    save_series("a5_bandwidth.csv", header, rows)
-    print("\nA5 bandwidth vs accuracy (greedy LPM, 4 monitors)")
-    print(format_table(header, rows))
+def _run(table, history, live, budget: int, width: float, wire: str):
+    system = MonitoringSystem(
+        table, get_metric("rms"), num_monitors=4,
+        algorithm="lpm_greedy", budget=budget, wire_format=wire,
+    )
+    system.train(history)
+    t0 = time.perf_counter()
+    report = system.run(live, window_width=width)
+    return report, time.perf_counter() - t0
 
-    # more budget -> better accuracy, still far below raw shipping
-    assert rows[-1][1] <= rows[0][1] + 1e-9
-    assert rows[-1][-1] > 1.0
 
-    def run_once():
-        system = MonitoringSystem(
-            table, metric, num_monitors=4,
-            algorithm="lpm_greedy", budget=50,
-        )
-        system.train(history)
-        return system.run(live, window_width=10.0)
+def run_grid(grid: str) -> Dict[str, object]:
+    sizes = TINY_SIZES if grid == "tiny" else FULL_SIZES
+    points: List[Dict[str, object]] = []
+    for height, packets, duration, width, budgets in sizes:
+        table, history, live = _traces(height, packets, duration)
+        for budget in budgets:
+            reports = {}
+            seconds = {}
+            for wire in WIRE_FORMATS:
+                reports[wire], seconds[wire] = _run(
+                    table, history, live, budget, width, wire
+                )
+            v1, v2 = reports["v1"], reports["v2"]
+            errors_v1 = [w.error for w in v1.windows]
+            errors_v2 = [w.error for w in v2.windows]
+            # Hard checks, not just recorded numbers: identical answers,
+            # never-larger payloads.
+            assert errors_v1 == errors_v2, (
+                f"wire format changed the estimates at h={height} "
+                f"budget={budget}"
+            )
+            assert v2.upstream_bytes <= v1.upstream_bytes, (
+                f"v2 payloads larger than v1 at h={height} "
+                f"budget={budget}: {v2.upstream_bytes} > "
+                f"{v1.upstream_bytes}"
+            )
+            assert v1.compression_ratio > 1.0
+            saving = (
+                v2.upstream_bytes / v1.upstream_bytes
+                if v1.upstream_bytes
+                else 1.0
+            )
+            point = {
+                "workload": {
+                    "height": height,
+                    "packets": packets,
+                    "duration_s": duration,
+                    "window_width_s": width,
+                    "monitors": 4,
+                    "algorithm": "lpm_greedy",
+                },
+                "budget": budget,
+                "windows": len(v1.windows),
+                "mean_error": v1.mean_error,
+                "errors_bit_identical": errors_v1 == errors_v2,
+                "raw_bytes": v1.raw_bytes,
+                "function_bytes": v1.function_bytes,
+                "upstream_bytes": {
+                    "v1": v1.upstream_bytes,
+                    "v2": v2.upstream_bytes,
+                },
+                "v2_over_v1_bytes": round(saving, 4),
+                "compression_ratio": {
+                    "v1": round(v1.compression_ratio, 2),
+                    "v2": round(v2.compression_ratio, 2),
+                },
+                "seconds": {
+                    k: round(v, 6) for k, v in seconds.items()
+                },
+            }
+            points.append(point)
+            print(
+                f"h={height} budget={budget}: error={v1.mean_error:.4f} "
+                f"v1={v1.upstream_bytes}B v2={v2.upstream_bytes}B "
+                f"({(1 - saving) * 100:.1f}% smaller, "
+                f"compression {point['compression_ratio']['v1']}x -> "
+                f"{point['compression_ratio']['v2']}x)"
+            )
+    ratios = [p["v2_over_v1_bytes"] for p in points]
+    return {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/bench_bandwidth.py",
+        "grid": grid,
+        "wire_formats": list(WIRE_FORMATS),
+        "points": points,
+        "summary": {
+            "grid_points": len(points),
+            "all_errors_bit_identical": all(
+                p["errors_bit_identical"] for p in points
+            ),
+            "v2_never_larger": all(r <= 1.0 for r in ratios),
+            "best_v2_over_v1_bytes": min(ratios),
+            "worst_v2_over_v1_bytes": max(ratios),
+        },
+    }
 
-    benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+def write_report(doc: Dict[str, object], out: str) -> str:
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--grid", choices=("tiny", "full"), default="full",
+        help="workload grid: 'tiny' is the CI smoke grid",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help="output JSON path (default: repo-root BENCH_bandwidth.json)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_grid(args.grid)
+    path = write_report(doc, args.out)
+    print(f"wrote {os.path.abspath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

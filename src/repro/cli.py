@@ -59,6 +59,7 @@ from .core import (
     GroupTable,
     PrunedHierarchy,
     UIDDomain,
+    WIRE_FORMATS,
     available_metrics,
     decode_function,
     encode_function,
@@ -291,7 +292,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         algorithm=args.algorithm, budget=args.budget,
         stale_policy=args.stale_policy,
         incremental=args.incremental_rebuilds, faults=faults,
-        parallel=args.parallel,
+        parallel=args.parallel, wire_format=args.wire_format,
     )
     with ExitStack() as stack:
         if args.journal:
@@ -549,6 +550,11 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="partitioning worker threads across monitors "
                    "(default 1 = serial; results are identical)")
+    s.add_argument("--wire-format", choices=WIRE_FORMATS, default="v1",
+                   help="histogram wire format: 'v1' modelled "
+                   "(node, 32-bit counter) pairs (default) or 'v2' "
+                   "self-describing delta/varint payloads queryable "
+                   "without decode; estimates are bit-identical")
     s.add_argument("--journal", metavar="PATH", default=None,
                    help="record every pipeline event (installs, faults, "
                    "decodes) as JSON lines; replay with 'repro replay'")

@@ -31,6 +31,13 @@ from .serialize import (
     function_from_json,
     function_to_json,
 )
+from .wire import (
+    WIRE_FORMATS,
+    WireHistogram,
+    decode_histogram_v2,
+    encode_histogram_v2,
+    merge_wire,
+)
 from .partition import (
     Bucket,
     Histogram,
@@ -74,4 +81,9 @@ __all__ = [
     "decode_histogram",
     "function_to_json",
     "function_from_json",
+    "WIRE_FORMATS",
+    "WireHistogram",
+    "encode_histogram_v2",
+    "decode_histogram_v2",
+    "merge_wire",
 ]

@@ -13,6 +13,12 @@ These codecs realize the size model the paper argues from:
 Both binary formats are self-delimiting given the domain height; a JSON
 codec is provided for configuration files and debugging.  The byte
 sizes produced here are what the simulated channel accounts for.
+
+This module is the **v1** histogram wire format.  The v2 format in
+:mod:`repro.core.wire` supersedes it for transmission when selected
+(``wire_format="v2"``): byte-aligned, self-describing counter widths,
+delta/varint node ids, CRC-protected, and queryable/mergeable without
+decoding.  See ``docs/wire-format.md`` for both layouts bit by bit.
 """
 
 from __future__ import annotations
@@ -131,14 +137,32 @@ def encode_histogram(
     histogram: Histogram, domain: UIDDomain, counter_bits: int = 32
 ) -> bytes:
     """Serialize a histogram: varint bucket count then (node, counter)
-    pairs; only nonzero buckets are transmitted."""
+    pairs; only nonzero buckets are transmitted.
+
+    .. warning:: ``counter_bits`` is an **out-of-band contract**: the
+       v1 payload does not record the counter width, so decoding with a
+       different ``counter_bits`` than was encoded silently reads
+       garbage.  Callers must pass the same value to both ends (the
+       streams layer asserts this agreement); the v2 format in
+       :mod:`repro.core.wire` makes the width self-describing instead.
+
+    Counters are integers on the wire.  Non-integral values (the
+    weighted-``values`` pipeline) are rejected rather than silently
+    rounded — use the v2 float64 counter mode for weighted histograms.
+    """
     w = BitWriter()
     w.write(domain.height, 6)
     w.write_unary_varint(len(histogram.counts))
     limit = (1 << counter_bits) - 1
     for node in sorted(histogram.counts):
         value = histogram.counts[node]
-        c = int(round(value))
+        if value != int(value):
+            raise ValueError(
+                f"count {value} at node {node} is not an integer; the v1 "
+                f"wire format carries integer counters only (use the v2 "
+                f"float64 counter mode for weighted histograms)"
+            )
+        c = int(value)
         if c < 0 or c > limit:
             raise ValueError(
                 f"count {value} does not fit in {counter_bits}-bit counter"
@@ -150,14 +174,34 @@ def encode_histogram(
 
 def decode_histogram(data: bytes, counter_bits: int = 32) -> Histogram:
     """Inverse of :func:`encode_histogram` (count totals are not
-    transmitted; the decoded histogram reports the counter sum)."""
+    transmitted; the decoded histogram reports the counter sum).
+
+    ``counter_bits`` must match the width used at encode time — see the
+    warning on :func:`encode_histogram`.  A mismatch usually desynchronizes
+    the bit stream and surfaces here as :class:`ValueError`, but short
+    payloads can alias, so the width contract cannot be fully validated
+    from the bytes alone.
+    """
     r = BitReader(data)
     domain = UIDDomain(r.read(6))
     count = r.read_unary_varint()
     counts: Dict[int, float] = {}
-    for _ in range(count):
-        node = _read_node(r, domain)
-        counts[node] = float(r.read(counter_bits))
+    try:
+        for _ in range(count):
+            node = _read_node(r, domain)
+            counts[node] = float(r.read(counter_bits))
+    except EOFError:
+        raise ValueError(
+            f"malformed histogram encoding: ran out of bits mid-bucket "
+            f"(truncated payload, or counter_bits={counter_bits} does not "
+            f"match the width used by the encoder)"
+        )
+    if r.bits_remaining >= 8:
+        raise ValueError(
+            f"malformed histogram encoding: {r.bits_remaining} trailing "
+            f"bits after the last bucket (counter_bits={counter_bits} "
+            f"may not match the width used by the encoder)"
+        )
     return Histogram(counts, total=float(sum(counts.values())))
 
 

@@ -30,12 +30,27 @@ class Channel:
     """Byte-accounting transport between Monitors and the Control
     Center, optionally lossy in both directions."""
 
+    #: Counter widths the v1 codec contract admits.  The v1 payload
+    #: does not record its counter width (see the warning on
+    #: :func:`repro.core.serialize.encode_histogram`), so the channel —
+    #: the one component both ends share — owns the width: every
+    #: ``size_bytes`` charge and any encode/decode made on behalf of
+    #: this link must use ``self.counter_bits``.  The v2 format carries
+    #: its width in-band instead and ignores this setting.
+    V1_COUNTER_WIDTHS = (8, 16, 32, 64)
+
     def __init__(
         self,
         domain: UIDDomain,
         counter_bits: int = 32,
         faults: Optional[FaultModel] = None,
     ) -> None:
+        if counter_bits not in self.V1_COUNTER_WIDTHS:
+            raise ValueError(
+                f"counter_bits must be one of {self.V1_COUNTER_WIDTHS}, "
+                f"got {counter_bits} (encoder and decoder must agree on "
+                f"the v1 counter width; it is not recorded on the wire)"
+            )
         self.domain = domain
         self.counter_bits = counter_bits
         self.faults = faults

@@ -34,6 +34,7 @@ from ..core.estimate import reconstruct_estimates
 from ..core.groups import GroupTable
 from ..core.hierarchy import PrunedHierarchy
 from ..core.partition import Histogram, PartitioningFunction
+from ..core.wire import WireHistogram, decode_histogram_v2, merge_wire
 from ..obs import (
     QualityTracker,
     WindowQuality,
@@ -287,10 +288,39 @@ class ControlCenter:
         per-group estimates.  Under the ``fast`` stream kernel mode the
         reconstruction runs through the compiled gather/divide arrays
         (:class:`~repro.core.compiled.CompiledEstimator`, cached per
-        install); estimates are bit-identical either way."""
-        merged = self.merge_histograms(usable)
+        install); estimates are bit-identical either way.
+
+        Messages carrying a v2 wire payload are handled from the bytes
+        that actually crossed the link: the ``fast`` path merges the
+        payloads at the wire level (:func:`repro.core.wire.merge_wire`)
+        and estimates straight off the merged buffer through a
+        :class:`~repro.core.wire.WireHistogram` view — no
+        :class:`~repro.core.partition.Histogram` is materialized for
+        estimation; the ``naive`` path decodes each payload and merges
+        the objects.  Both produce bit-identical estimates (wire merge
+        accumulates in the same concatenate/unique/bincount order as
+        the object merge, and integral wire counters cast exactly)."""
         if not usable:
-            return merged, np.zeros(len(self.table), dtype=np.float64)
+            return self.merge_histograms(usable), np.zeros(
+                len(self.table), dtype=np.float64
+            )
+        payloads = [m.payload for m in usable]
+        if all(p is not None for p in payloads):
+            if stream_kernel_mode() == "fast":
+                # Query-from-wire: one wire-level merge, then compiled
+                # gathers over the merged buffer's zero-copy view.
+                view = WireHistogram(merge_wire(payloads))
+                estimator = CompiledEstimator.for_pair(
+                    self.table, self.function
+                )
+                return view.to_histogram(), estimator.estimate(view)
+            merged = Histogram.merge(
+                decode_histogram_v2(p) for p in payloads
+            )
+            return merged, reconstruct_estimates(
+                self.table, self.function, merged
+            )
+        merged = self.merge_histograms(usable)
         if stream_kernel_mode() == "fast":
             estimator = CompiledEstimator.for_pair(self.table, self.function)
             return merged, estimator.estimate(merged)

@@ -50,6 +50,7 @@ import numpy as np
 
 from ..core.errors import PenaltyMetric
 from ..core.groups import GroupTable
+from ..core.wire import WIRE_FORMATS
 from ..obs import (
     Alert,
     emit_window_record,
@@ -154,10 +155,16 @@ class MonitoringSystem:
         faults: Optional[FaultModel] = None,
         max_install_attempts: int = 64,
         parallel: int = 1,
+        wire_format: str = "v1",
         **builder_options,
     ) -> None:
         if num_monitors < 1:
             raise ValueError(f"need at least one monitor, got {num_monitors}")
+        if wire_format not in WIRE_FORMATS:
+            raise ValueError(
+                f"wire_format must be one of {WIRE_FORMATS}, "
+                f"got {wire_format!r}"
+            )
         if max_install_attempts < 1:
             raise ValueError(
                 f"max_install_attempts must be >= 1, got "
@@ -172,7 +179,15 @@ class MonitoringSystem:
             cache_size=cache_size, stale_policy=stale_policy,
             incremental=incremental, **builder_options,
         )
-        self.monitors = [Monitor(f"monitor-{i}") for i in range(num_monitors)]
+        #: Histogram wire format Monitors speak (``"v1"`` keeps the
+        #: modelled (node, fixed-width counter) accounting and
+        #: byte-identical seed reports; ``"v2"`` ships the queryable
+        #: self-describing encoding from :mod:`repro.core.wire`).
+        self.wire_format = wire_format
+        self.monitors = [
+            Monitor(f"monitor-{i}", wire_format=wire_format)
+            for i in range(num_monitors)
+        ]
         self.faults = faults
         self.channel = Channel(table.domain, faults=faults)
         self.max_install_attempts = max_install_attempts

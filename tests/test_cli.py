@@ -96,6 +96,22 @@ class TestSimulate:
         assert "duplicates dropped" in text
         assert "stale messages" in text
 
+    def test_simulate_wire_format_v2_same_error_fewer_bytes(self, capsys):
+        outputs = {}
+        for wire in ("v1", "v2"):
+            assert main(["simulate", "--height", "10", "--packets", "20000",
+                         "--budget", "20", "--monitors", "2",
+                         "--wire-format", wire]) == 0
+            outputs[wire] = capsys.readouterr().out
+        error = lambda text: [
+            line for line in text.splitlines() if "mean rms error" in line
+        ]
+        upstream = lambda text: [
+            line for line in text.splitlines() if "histogram bytes" in line
+        ]
+        assert error(outputs["v1"]) == error(outputs["v2"])
+        assert upstream(outputs["v1"]) != upstream(outputs["v2"])
+
     def test_simulate_bad_fault_spec_rejected(self, capsys):
         assert main(["simulate", "--height", "10", "--packets", "5000",
                      "--faults", "dorp=0.2"]) == 2

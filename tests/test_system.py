@@ -298,3 +298,62 @@ class TestCompressionRatio:
             function_bytes=100, upstream_bytes=400, raw_bytes=10_000
         )
         assert report.compression_ratio == pytest.approx(20.0)
+
+
+class TestWireFormatV2:
+    """The v2 wire format through the whole pipeline: identical
+    estimates, cheaper link, both algorithms of transport."""
+
+    @pytest.mark.parametrize("algorithm", ["nonoverlapping", "overlapping",
+                                           "lpm_greedy"])
+    def test_v2_estimates_bit_identical_to_v1(self, workload, algorithm):
+        table, history, live = workload
+        reports = {}
+        for wire in ("v1", "v2"):
+            system = MonitoringSystem(
+                table, get_metric("rms"), num_monitors=3,
+                algorithm=algorithm, budget=40, wire_format=wire,
+            )
+            system.train(history)
+            reports[wire] = system.run(live, window_width=5.0)
+        v1, v2 = reports["v1"], reports["v2"]
+        assert [w.error for w in v1.windows] == [
+            w.error for w in v2.windows
+        ]
+        assert v2.upstream_bytes <= v1.upstream_bytes
+
+    def test_v2_naive_and_fast_kernels_bit_identical(self, workload):
+        from repro.streams import use_stream_kernel_mode
+
+        table, history, live = workload
+        errors = {}
+        for mode in ("fast", "naive"):
+            with use_stream_kernel_mode(mode):
+                system = MonitoringSystem(
+                    table, get_metric("rms"), num_monitors=3,
+                    algorithm="lpm_greedy", budget=40, wire_format="v2",
+                )
+                system.train(history)
+                errors[mode] = [
+                    w.error for w in system.run(live, window_width=5.0).windows
+                ]
+        assert errors["fast"] == errors["naive"]
+
+    def test_v2_messages_carry_real_payload_bytes(self, workload):
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm="lpm_greedy", budget=40, wire_format="v2",
+        )
+        system.train(history)
+        system.run(live, window_width=5.0)
+        assert system.channel.messages
+        charged = sum(
+            8 + len(m.payload) for m in system.channel.messages
+        )
+        assert charged == system.channel.upstream_bytes
+
+    def test_unknown_wire_format_rejected(self, workload):
+        table, _history, _live = workload
+        with pytest.raises(ValueError):
+            MonitoringSystem(table, get_metric("rms"), wire_format="v3")
