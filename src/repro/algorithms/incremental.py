@@ -79,6 +79,7 @@ from .kernels import kernel_mode
 __all__ = [
     "subtree_fingerprints",
     "memo_config_key",
+    "memo_compatible",
     "supports_incremental",
     "new_session",
     "NonoverlappingMemo",
@@ -156,6 +157,28 @@ def memo_config_key(
         repr(metric),
         kernel_mode(),
         tuple(sorted(options.items())),
+    )
+
+
+def memo_compatible(
+    memo, algorithm: str, metric: PenaltyMetric, budget: int, options: Dict
+) -> bool:
+    """Whether a (possibly foreign) memo can seed a rebuild under this
+    configuration.
+
+    Sessions already discard memos whose config key differs, so passing
+    an incompatible memo is safe but pointless; this check lets a
+    *shared* memo store (the serving layer's cross-tenant cache) avoid
+    handing out memos that would contribute nothing.  Config-compatible
+    memos from a different tenant are sound to share: every reuse
+    inside a session is guarded by subtree content fingerprints, and
+    equal fingerprints imply bit-identical per-subtree DP state for a
+    fixed configuration (see :func:`subtree_fingerprints`).
+    """
+    return (
+        memo is not None
+        and getattr(memo, "config", None)
+        == memo_config_key(algorithm, metric, budget, options)
     )
 
 

@@ -96,6 +96,7 @@ from .obs import (
     use_tracer,
     write_metrics,
 )
+from .serving import ServingEngine, ShardedMonitoringSystem, TenantSpec
 from .streams import (
     STALE_POLICIES,
     STREAM_KERNEL_MODES,
@@ -245,6 +246,30 @@ def _print_report(
                   f"value {a.value:.6g} [{status}]")
 
 
+def _print_tenant_reports(results, metric_name: str) -> None:
+    """Per-tenant summaries for ``simulate --tenants`` runs."""
+    admitted = [r for r in results.values() if r.admitted]
+    rejected = [r for r in results.values() if not r.admitted]
+    print(f"tenants admitted  : {len(admitted)} of {len(results)}")
+    for tr in results.values():
+        if not tr.admitted:
+            continue
+        report = tr.report
+        budget = (
+            f"{tr.bytes_used} of {tr.spec.byte_budget} budgeted"
+            if tr.spec.byte_budget is not None
+            else f"{tr.bytes_used}"
+        )
+        flag = "  [OVER BUDGET]" if tr.over_budget else ""
+        print(
+            f"tenant {tr.spec.name}: {len(report.windows)} windows, "
+            f"mean {metric_name} error {report.mean_error:.4g}, "
+            f"bytes {budget}{flag}"
+        )
+    for tr in rejected:
+        print(f"tenant {tr.spec.name}: rejected ({tr.reason})")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.metrics_interval is not None and not args.metrics:
         print(
@@ -258,6 +283,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             serve_addr = parse_serve_spec(args.serve_metrics)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.wire_format != "v2":
+        print(
+            "error: --shards > 1 fans shard histograms in at the wire "
+            "level and needs --wire-format v2",
+            file=sys.stderr,
+        )
+        return 2
+    if args.capacity_bytes is not None and args.tenants is None:
+        print("error: --capacity-bytes needs --tenants", file=sys.stderr)
+        return 2
+    tenants: Optional[List[TenantSpec]] = None
+    if args.tenants is not None:
+        try:
+            tenants = TenantSpec.parse_many(args.tenants)
+        except ValueError as exc:
+            print(f"error: --tenants: {exc}", file=sys.stderr)
             return 2
     domain = UIDDomain(args.height)
     table = generate_subnet_table(domain, seed=args.seed)
@@ -287,12 +332,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: --slo-file: {exc}", file=sys.stderr)
             return 2
-    system = MonitoringSystem(
-        table, get_metric(args.metric), num_monitors=args.monitors,
-        algorithm=args.algorithm, budget=args.budget,
+    metric = get_metric(args.metric)
+    system_options = dict(
+        num_monitors=args.monitors,
         stale_policy=args.stale_policy,
-        incremental=args.incremental_rebuilds, faults=faults,
-        parallel=args.parallel, wire_format=args.wire_format,
+        incremental=args.incremental_rebuilds,
+        faults=faults,
+        parallel=args.parallel,
+        wire_format=args.wire_format,
     )
     with ExitStack() as stack:
         if args.journal:
@@ -322,12 +369,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 )
             )
         with use_stream_kernel_mode(args.stream_kernels):
-            system.train(trace.slice_time(0, half))
-            report = system.run(
-                trace.slice_time(half, args.duration),
-                window_width=half / max(1, args.windows),
-            )
-        _print_report(report, args.metric, args.monitors, faults is not None)
+            if tenants is not None:
+                # Multi-tenant serving: admission + per-tenant runs over
+                # one shared cache (tenant specs carry their own
+                # algorithm/budget; --algorithm/--budget are ignored).
+                serving = stack.enter_context(
+                    ServingEngine(
+                        table, metric, tenants,
+                        shards=args.shards,
+                        capacity_bytes=args.capacity_bytes,
+                        **system_options,
+                    )
+                )
+                results = serving.run(
+                    trace.slice_time(0, half),
+                    trace.slice_time(half, args.duration),
+                    window_width=half / max(1, args.windows),
+                )
+                _print_tenant_reports(results, args.metric)
+            else:
+                if args.shards > 1:
+                    system = stack.enter_context(
+                        ShardedMonitoringSystem(
+                            table, metric, shards=args.shards,
+                            algorithm=args.algorithm,
+                            budget=args.budget, **system_options,
+                        )
+                    )
+                else:
+                    system = MonitoringSystem(
+                        table, metric, algorithm=args.algorithm,
+                        budget=args.budget, **system_options,
+                    )
+                system.train(trace.slice_time(0, half))
+                report = system.run(
+                    trace.slice_time(half, args.duration),
+                    window_width=half / max(1, args.windows),
+                )
+                _print_report(
+                    report, args.metric, args.monitors, faults is not None
+                )
         if tracer is not None:
             # Diagnostics go to stderr: replay reconstructs stdout from
             # the journal alone, and the journal does not carry these
@@ -550,11 +631,24 @@ def _parser() -> argparse.ArgumentParser:
     s.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="partitioning worker threads across monitors "
                    "(default 1 = serial; results are identical)")
-    s.add_argument("--wire-format", choices=WIRE_FORMATS, default="v1",
-                   help="histogram wire format: 'v1' modelled "
-                   "(node, 32-bit counter) pairs (default) or 'v2' "
-                   "self-describing delta/varint payloads queryable "
-                   "without decode; estimates are bit-identical")
+    s.add_argument("--wire-format", choices=WIRE_FORMATS, default="v2",
+                   help="histogram wire format: 'v2' self-describing "
+                   "delta/varint payloads queryable without decode "
+                   "(default) or 'v1' modelled (node, 32-bit counter) "
+                   "pairs; estimates are bit-identical")
+    s.add_argument("--shards", type=int, default=1, metavar="K",
+                   help="hash-shard UIDs across K worker processes with "
+                   "wire-level fan-in (default 1 = serial; reports are "
+                   "bit-identical; needs --wire-format v2)")
+    s.add_argument("--tenants", metavar="SPEC", default=None,
+                   help="serve a multi-tenant fleet instead of one "
+                   "system, e.g. 'alpha:budget=100,bytes=65536;"
+                   "beta:algorithm=nonoverlapping' (keys: algorithm, "
+                   "budget, bytes, seed); combines with --shards")
+    s.add_argument("--capacity-bytes", type=int, default=None,
+                   metavar="N",
+                   help="admission-control ceiling on the sum of "
+                   "declared tenant byte budgets (needs --tenants)")
     s.add_argument("--journal", metavar="PATH", default=None,
                    help="record every pipeline event (installs, faults, "
                    "decodes) as JSON lines; replay with 'repro replay'")

@@ -36,6 +36,8 @@ from .wire import (
     WireHistogram,
     decode_histogram_v2,
     encode_histogram_v2,
+    encode_histograms_v2,
+    merge_views,
     merge_wire,
 )
 from .partition import (
@@ -84,6 +86,8 @@ __all__ = [
     "WIRE_FORMATS",
     "WireHistogram",
     "encode_histogram_v2",
+    "encode_histograms_v2",
     "decode_histogram_v2",
+    "merge_views",
     "merge_wire",
 ]

@@ -15,6 +15,7 @@ construction can count groups inside any identifier range in
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -91,6 +92,28 @@ class GroupTable:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return int(self.nodes.size)
+
+    def fingerprint(self) -> bytes:
+        """BLAKE2b-128 content fingerprint of this table.
+
+        Covers the domain height, the sorted group nodes and the group
+        ids — everything that shapes lookups and construction — so two
+        tables with equal fingerprints are interchangeable for DP work
+        and compiled-table reuse.  The serving layer keys its
+        cross-tenant caches by this (the rebuild fingerprint alone
+        hashes counts and configuration but not the table, so sharing
+        across tenants needs both).  Cached after the first call; the
+        table is immutable.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(bytes([self.domain.height]))
+            digest.update(self.nodes.tobytes())
+            digest.update(repr(self.group_ids).encode("utf-8"))
+            fp = digest.digest()
+            self._fingerprint = fp
+        return fp
 
     @property
     def num_groups(self) -> int:

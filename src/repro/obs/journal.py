@@ -77,6 +77,12 @@ EVENT_TYPES = (
     # repro.obs.slo):
     "alert.fired",      # a rule went out of bounds this window
     "alert.resolved",   # a firing rule came back in bounds
+    # serving layer (see repro.serving):
+    "shard.prefetch",    # one shard worker's prefetch pass (windows, bytes)
+    "tenant.admitted",   # admission control accepted a tenant
+    "tenant.rejected",   # admission control turned a tenant away (reason)
+    "tenant.over_budget",  # a tenant's run exceeded its declared bytes
+    "tenant.report",     # one tenant's run summary (windows, bytes, error)
 )
 
 

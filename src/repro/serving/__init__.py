@@ -1,0 +1,33 @@
+"""Multi-shard, multi-tenant serving layer (ROADMAP item 1).
+
+Promotes the single-process :class:`~repro.streams.MonitoringSystem`
+loop into a serving engine:
+
+* :class:`ShardedMonitoringSystem` — hash-shards UIDs across
+  ``shards=K`` worker processes (shared-memory window buffers, fault
+  decisions pre-drawn so sharded runs are report-identical to serial)
+  and fans the per-shard v2 wire payloads into one decode per window at
+  the tenant boundary.
+* :class:`SharedServingCache` — cross-tenant reuse of DP rebuilds,
+  incremental-curve memos and compiled tables, keyed by BLAKE2b
+  fingerprints of the group table and rebuild inputs.
+* :class:`ServingEngine` — admission-controlled multi-tenant runs with
+  per-tenant byte budgets and ``tenant=``/``shard=`` labelled metrics
+  and journal events.
+
+See ``docs/serving.md`` for the shard model, tenant spec format and
+cache-sharing guarantees.
+"""
+
+from .cache import SharedServingCache
+from .engine import ServingEngine, TenantReport, TenantSpec
+from .sharded import FanInControlCenter, ShardedMonitoringSystem
+
+__all__ = [
+    "FanInControlCenter",
+    "ServingEngine",
+    "SharedServingCache",
+    "ShardedMonitoringSystem",
+    "TenantReport",
+    "TenantSpec",
+]

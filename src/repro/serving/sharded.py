@@ -1,0 +1,562 @@
+"""Sharded ingest with wire-level fan-in (the serving tentpole).
+
+:class:`ShardedMonitoringSystem` promotes the single-process
+:class:`~repro.streams.MonitoringSystem` loop into a ``shards=K``
+engine while keeping its :class:`~repro.streams.SystemReport`
+**bit-identical** to the serial run for the same seed — faults
+included.  Three mechanisms, none of which touches the fault RNG:
+
+1. **Shard prefetch.**  Before the window loop starts, every
+   ``(monitor, window)`` histogram is built by shard worker processes:
+   UIDs are hash-split across Monitors exactly as the serial run splits
+   them (:meth:`~repro.streams.tuples.Trace.split` is seeded), the
+   window buffers are placed in :mod:`multiprocessing.shared_memory`
+   segments (workers read zero-copy ``int64``/``float64`` views), and
+   each worker runs the batched
+   :meth:`~repro.streams.Monitor.process_windows` kernel — which is
+   property-tested bit-identical to the serial per-window build.
+   Histogram *content* is independent of fault outcomes, so prefetch
+   needs no fault model; the base loop then draws crash and delivery
+   decisions in the exact serial order
+   (:meth:`~repro.streams.faults.FaultModel.plan_decisions`) and simply
+   consumes prefetched messages in phase 2.
+2. **Wire-level fan-in.**  Each shard ships v2-encoded payloads; the
+   :class:`FanInControlCenter` combines one window's shard histograms
+   with the shared k-way merge arithmetic
+   (:func:`repro.core.wire.merge_views`) and decodes **exactly once at
+   the tenant boundary** — no per-payload re-parse, no re-encode of the
+   merged buffer.  The estimates are bit-identical to the serial
+   query-from-wire path (same concatenate/unique/bincount accumulation
+   order, and v2 encode/decode is a lossless inverse).
+3. **Batched ground truth.**  The exact per-window grouped aggregation
+   is computed for the whole run in one flattened bincount
+   (:func:`~repro.streams.query.exact_group_counts_batched`) and
+   answered from the matrix.
+
+If a prefetched message is missing or carries a stale function version
+(e.g. an adaptive subclass rebuilt mid-run), phase 2 falls back to the
+inline serial build for that job — correctness never depends on the
+prefetch; ``prefetch_misses`` counts the fallbacks.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.compiled import CompiledEstimator
+from ..core.partition import Histogram
+from ..core.wire import merge_views
+from ..obs import (
+    NULL_JOURNAL,
+    NULL_TRACER,
+    NullRegistry,
+    get_journal,
+    get_registry,
+    use_journal,
+    use_registry,
+    use_tracer,
+)
+from ..streams.control_center import ControlCenter
+from ..streams.kernels import stream_kernel_mode, use_stream_kernel_mode
+from ..streams.monitor import HistogramMessage, Monitor
+from ..streams.query import exact_group_counts_batched
+from ..streams.system import MonitoringSystem, SystemReport, _UNSET
+from ..streams.tuples import Trace
+
+__all__ = ["FanInControlCenter", "ShardedMonitoringSystem"]
+
+
+class FanInControlCenter(ControlCenter):
+    """Control center that merges shard payloads without re-encoding.
+
+    The serial fast path demonstrates query-from-wire end to end: it
+    merges payloads with :func:`~repro.core.wire.merge_wire` (parse
+    each, re-encode the merged buffer) and estimates off a
+    :class:`~repro.core.wire.WireHistogram` re-parse.  At serving
+    fan-in that wire round-trip is pure overhead — the shard messages'
+    histograms *are* the decoded payloads (the v2 codec is a lossless
+    inverse, fuzz-tested in ``tests/test_wire.py``) — so this decoder
+    runs the same k-way merge arithmetic directly on the bucket arrays
+    and estimates through the compiled gather.  Estimates and merged
+    histograms are bit-identical to the serial path; only the
+    parse×k + encode + parse glue is gone.
+    """
+
+    def _merge_and_estimate(self, usable):
+        if (
+            not usable
+            or stream_kernel_mode() != "fast"
+            or any(m.payload is None for m in usable)
+        ):
+            # Empty, naive-mode, or v1 messages: the base behaviour is
+            # already the lean one (or is the documented reference).
+            return super()._merge_and_estimate(usable)
+        nodes, sums, unmatched, total = merge_views(
+            [m.histogram for m in usable]
+        )
+        merged = Histogram.from_arrays(
+            nodes, sums, unmatched=unmatched, total=total
+        )
+        estimator = CompiledEstimator.for_pair(self.table, self.function)
+        return merged, estimator.estimate(merged)
+
+
+def _shard_worker(task):
+    """Build all of one shard's (monitor, window) histograms.
+
+    Runs in a worker process: observability is nulled (the parent owns
+    metrics and the journal; worker Monitor objects are throwaway) and
+    the parent's stream kernel mode is pinned explicitly so a ``spawn``
+    start method cannot drift from the serial build. Returns pickled
+    :class:`~repro.streams.monitor.HistogramMessage` lists — histogram
+    arrays are fresh bincount outputs, never views into the shared
+    segments.
+    """
+    (
+        shard_id,
+        shm_name,
+        values_shm_name,
+        total_tuples,
+        mode,
+        function,
+        version,
+        monitor_jobs,
+    ) = task
+    shm = shared_memory.SharedMemory(name=shm_name)
+    vshm = (
+        shared_memory.SharedMemory(name=values_shm_name)
+        if values_shm_name is not None
+        else None
+    )
+
+    def build_all():
+        # Scoped so every view into the shared segments is dropped when
+        # this returns (SharedMemory refuses to close while exported
+        # buffers are alive).  Histogram arrays are bincount outputs —
+        # fresh memory, never views.
+        uid_buf = np.ndarray((total_tuples,), dtype=np.int64, buffer=shm.buf)
+        val_buf = (
+            np.ndarray((total_tuples,), dtype=np.float64, buffer=vshm.buf)
+            if vshm is not None
+            else None
+        )
+        results = []
+        for name, wins in monitor_jobs:
+            monitor = Monitor(name, wire_format="v2")
+            monitor.install_function(function, version)
+            indices = [w for (w, _off, _n, _hv) in wins]
+            arrays = [uid_buf[off:off + n] for (_w, off, n, _hv) in wins]
+            if val_buf is not None and all(hv for (*_rest, hv) in wins):
+                vals = [val_buf[off:off + n] for (_w, off, n, _hv) in wins]
+                messages = monitor.process_windows(indices, arrays, vals)
+            elif val_buf is not None:
+                # Mixed weighted/unweighted windows (cannot happen
+                # from Trace.split, but keep the slow exact path).
+                messages = [
+                    monitor.process_window(
+                        w,
+                        uid_buf[off:off + n],
+                        values=val_buf[off:off + n] if hv else None,
+                    )
+                    for (w, off, n, hv) in wins
+                ]
+            else:
+                messages = monitor.process_windows(indices, arrays)
+            results.append(_pack_messages(name, messages))
+        return results
+
+    try:
+        with use_registry(NullRegistry()), use_journal(NULL_JOURNAL), \
+                use_tracer(NULL_TRACER), use_stream_kernel_mode(mode):
+            results = build_all()
+        return shard_id, results
+    finally:
+        shm.close()
+        if vshm is not None:
+            vshm.close()
+
+
+def _pack_messages(name, messages):
+    """Flatten one monitor's messages into a few large objects for the
+    result pipe: per-message pickling of thousands of small arrays,
+    payload bytes and dataclass instances costs more than the build
+    itself, while a handful of concatenated arrays plus one payload
+    blob crosses the pipe almost for free.  :func:`_unpack_messages`
+    reconstructs messages with histogram arrays that are slices of the
+    blobs — every downstream consumer (the k-way merge, accounting,
+    byte charging) only reads them."""
+    indices = np.asarray([m.window_index for m in messages], dtype=np.int64)
+    lengths = np.asarray(
+        [m.histogram.nodes.size for m in messages], dtype=np.int64
+    )
+    nodes = (
+        np.concatenate([m.histogram.nodes for m in messages])
+        if messages
+        else np.empty(0, dtype=np.int64)
+    )
+    values = (
+        np.concatenate([m.histogram.values for m in messages])
+        if messages
+        else np.empty(0, dtype=np.float64)
+    )
+    unmatched = np.asarray(
+        [m.histogram.unmatched for m in messages], dtype=np.float64
+    )
+    totals = np.asarray(
+        [m.histogram.total for m in messages], dtype=np.float64
+    )
+    payload_lengths = np.asarray(
+        [len(m.payload) for m in messages], dtype=np.int64
+    )
+    payload_blob = b"".join(m.payload for m in messages)
+    return (
+        name, indices, lengths, nodes, values, unmatched, totals,
+        payload_lengths, payload_blob,
+    )
+
+
+def _unpack_messages(packed, function_version):
+    """Inverse of :func:`_pack_messages`."""
+    (
+        name, indices, lengths, nodes, values, unmatched, totals,
+        payload_lengths, payload_blob,
+    ) = packed
+    messages = []
+    bucket_off = 0
+    payload_off = 0
+    for i in range(int(indices.size)):
+        n = int(lengths[i])
+        p = int(payload_lengths[i])
+        histogram = Histogram.__new__(Histogram)
+        histogram.nodes = nodes[bucket_off:bucket_off + n]
+        histogram.values = values[bucket_off:bucket_off + n]
+        histogram.unmatched = float(unmatched[i])
+        histogram.total = float(totals[i])
+        histogram._dict = None
+        messages.append(
+            HistogramMessage(
+                monitor=name,
+                window_index=int(indices[i]),
+                histogram=histogram,
+                function_version=function_version,
+                payload=payload_blob[payload_off:payload_off + p],
+            )
+        )
+        bucket_off += n
+        payload_off += p
+    return name, messages
+
+
+class ShardedMonitoringSystem(MonitoringSystem):
+    """A :class:`~repro.streams.MonitoringSystem` whose ingest fans out
+    across ``shards`` worker processes and whose decode fans shard
+    payloads in at the tenant boundary.
+
+    Reports are bit-identical (dataclass-equal) to the serial system
+    for the same seeds, clean or faulty — the fault RNG, channel and
+    decode bookkeeping all run unmodified in the base loop; only the
+    pure per-monitor partitioning work and the merge arithmetic move.
+
+    Parameters beyond the base class:
+
+    shards:
+        Worker processes for the prefetch pass.  Monitors are assigned
+        round-robin (monitor ``i`` → shard ``i % shards``); UIDs are
+        already hash-split across monitors by the seeded
+        :meth:`~repro.streams.tuples.Trace.split`.
+    tenant:
+        Optional tenant label stamped on ``serving.shard.*`` metrics
+        and ``shard.prefetch`` journal events (the
+        :class:`~.engine.ServingEngine` sets it).
+    """
+
+    control_center_class = FanInControlCenter
+
+    def __init__(
+        self,
+        table,
+        metric,
+        num_monitors: int = 4,
+        shards: int = 2,
+        tenant: Optional[str] = None,
+        wire_format: str = "v2",
+        **kwargs,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if wire_format != "v2":
+            raise ValueError(
+                "sharded serving fans histograms in at the wire level; "
+                f"wire_format must be 'v2', got {wire_format!r}"
+            )
+        super().__init__(
+            table, metric, num_monitors=num_monitors,
+            wire_format=wire_format, **kwargs,
+        )
+        self.shards = shards
+        self.tenant = tenant
+        #: Persistent worker pool: forked lazily on the first prefetch
+        #: and reused for the system's lifetime (fork + interpreter
+        #: warm-up costs as much as building several windows' worth of
+        #: histograms, so paying it once per run would dominate short
+        #: runs).  :meth:`close` tears it down.
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: (monitor name, window index) -> prefetched message.
+        self._prefetched: Dict[Tuple[str, int], HistogramMessage] = {}
+        #: Segmentation computed by the prefetch pass, handed to the
+        #: base loop so the (deterministic) split/segment work runs
+        #: once per run.  Keyed by the run parameters as a guard.
+        self._segmented_cache: Optional[Tuple[Tuple[int, float, int], List[list]]] = None
+        #: window index -> exact per-group aggregates row.
+        self._truth: Dict[int, np.ndarray] = {}
+        self._truth_sizes: Dict[int, int] = {}
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
+
+    # -- worker pool --------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the shard worker pool down (idempotent).  The system
+        remains usable — the next run re-forks the pool."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardedMonitoringSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- prefetch -----------------------------------------------------------
+    def _segment_shares(
+        self, live: Trace, window_width: float, split_seed: int
+    ) -> List[list]:
+        """Reuse the prefetch pass's decomposition when the base loop
+        asks for the same one (split and segmentation are
+        deterministic, so it is exactly what the base computation would
+        return); recompute otherwise."""
+        cached = self._segmented_cache
+        if cached is not None:
+            key, segmented = cached
+            if key == (id(live), float(window_width), int(split_seed)):
+                return segmented
+        return super()._segment_shares(live, window_width, split_seed)
+
+    def _prefetch_truth(self, segmented: List[list], n_windows: int) -> None:
+        plain: List[Tuple[int, np.ndarray]] = []
+        weighted: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for w in range(n_windows):
+            window_uids = [s[w].uids for s in segmented if w < len(s)]
+            if not window_uids:
+                continue
+            window_values = [
+                s[w].values
+                for s in segmented
+                if w < len(s) and s[w].values is not None
+            ]
+            uids = np.concatenate(window_uids)
+            # Same all-or-nothing rule as the base loop: a window where
+            # some share lacks values is scored unweighted.
+            if len(window_values) == len(window_uids):
+                weighted.append((w, uids, np.concatenate(window_values)))
+            else:
+                plain.append((w, uids))
+        if plain:
+            rows = exact_group_counts_batched(
+                self.table, [u for _w, u in plain]
+            )
+            for (w, u), row in zip(plain, rows):
+                self._truth[w] = row
+                self._truth_sizes[w] = int(u.size)
+        if weighted:
+            rows = exact_group_counts_batched(
+                self.table,
+                [u for _w, u, _v in weighted],
+                [v for _w, _u, v in weighted],
+            )
+            for (w, u, _v), row in zip(weighted, rows):
+                self._truth[w] = row
+                self._truth_sizes[w] = int(u.size)
+
+    def _prefetch(
+        self, live: Trace, window_width: float, split_seed: int
+    ) -> None:
+        cc = self.control_center
+        segmented = MonitoringSystem._segment_shares(
+            self, live, window_width, split_seed
+        )
+        self._segmented_cache = (
+            (id(live), float(window_width), int(split_seed)),
+            segmented,
+        )
+        n_windows = max((len(s) for s in segmented), default=0)
+        if n_windows == 0:
+            return
+        self._prefetch_truth(segmented, n_windows)
+        total = sum(len(win) for segs in segmented for win in segs)
+        has_values = any(
+            win.values is not None for segs in segmented for win in segs
+        )
+        # One shared segment per stream column; workers map zero-copy
+        # typed views over it and slice windows by (offset, length).
+        shm = shared_memory.SharedMemory(create=True, size=max(8, total * 8))
+        vshm = (
+            shared_memory.SharedMemory(create=True, size=max(8, total * 8))
+            if has_values
+            else None
+        )
+        try:
+            uid_buf = np.ndarray((total,), dtype=np.int64, buffer=shm.buf)
+            val_buf = (
+                np.ndarray((total,), dtype=np.float64, buffer=vshm.buf)
+                if vshm is not None
+                else None
+            )
+            shard_jobs: List[list] = [[] for _ in range(self.shards)]
+            offset = 0
+            for i, (monitor, segs) in enumerate(
+                zip(self.monitors, segmented)
+            ):
+                wins = []
+                for win in segs:
+                    n = len(win)
+                    uid_buf[offset:offset + n] = win.uids
+                    win_has_values = win.values is not None
+                    if val_buf is not None and win_has_values:
+                        val_buf[offset:offset + n] = win.values
+                    wins.append((win.index, offset, n, win_has_values))
+                    offset += n
+                shard_jobs[i % self.shards].append((monitor.name, wins))
+            tasks = [
+                (
+                    shard,
+                    shm.name,
+                    vshm.name if vshm is not None else None,
+                    total,
+                    stream_kernel_mode(),
+                    cc.function,
+                    cc.function_version,
+                    jobs,
+                )
+                for shard, jobs in enumerate(shard_jobs)
+                if jobs
+            ]
+            shard_bytes = [0] * self.shards
+            pool = self._ensure_pool()
+            for shard, results in pool.map(_shard_worker, tasks):
+                for packed in results:
+                    name, messages = _unpack_messages(
+                        packed, cc.function_version
+                    )
+                    for msg in messages:
+                        self._prefetched[(name, msg.window_index)] = msg
+                        shard_bytes[shard] += len(msg.payload)
+        finally:
+            del uid_buf, val_buf
+            shm.close()
+            shm.unlink()
+            if vshm is not None:
+                vshm.close()
+                vshm.unlink()
+        registry = get_registry()
+        journal = get_journal()
+        labels = {"tenant": self.tenant} if self.tenant else {}
+        for shard, jobs in enumerate(shard_jobs):
+            if not jobs:
+                continue
+            windows = sum(len(wins) for _name, wins in jobs)
+            tuples = sum(n for _name, wins in jobs for (_w, _o, n, _hv) in wins)
+            if registry.enabled:
+                registry.counter(
+                    "serving.shard.windows", shard=str(shard), **labels
+                ).inc(windows)
+                registry.counter(
+                    "serving.shard.tuples", shard=str(shard), **labels
+                ).inc(tuples)
+                registry.counter(
+                    "serving.shard.payload_bytes", shard=str(shard), **labels
+                ).inc(shard_bytes[shard])
+            if journal.enabled:
+                journal.emit(
+                    "shard.prefetch",
+                    shard=shard,
+                    tenant=self.tenant or "",
+                    monitors=[name for name, _wins in jobs],
+                    windows=windows,
+                    tuples=tuples,
+                    payload_bytes=shard_bytes[shard],
+                )
+
+    # -- base-loop hooks ----------------------------------------------------
+    def _partition_jobs(self, pool, jobs):
+        prefetched = self._prefetched
+        if not prefetched:
+            return super()._partition_jobs(pool, jobs)
+        messages = []
+        for monitor, window, _plan in jobs:
+            msg = prefetched.get((monitor.name, window.index))
+            if (
+                msg is None
+                or msg.function_version != monitor.function_version
+            ):
+                # Not prefetched (or built against a superseded
+                # function): fall back to the inline serial build.
+                self.prefetch_misses += 1
+                messages.append(
+                    monitor.process_window(
+                        window.index, window.uids, values=window.values
+                    )
+                )
+                continue
+            self.prefetch_hits += 1
+            # The worker's throwaway Monitor absorbed the per-window
+            # accounting; replay it on the real one so lifetime stats
+            # and monitor.* metrics match the serial run.
+            monitor._account(1, len(window), (msg.histogram,))
+            messages.append(msg)
+        return messages
+
+    def _ground_truth(self, window, uids, values):
+        row = self._truth.get(window)
+        if row is not None and self._truth_sizes.get(window) == int(uids.size):
+            return row
+        return super()._ground_truth(window, uids, values)
+
+    # -- entry point --------------------------------------------------------
+    def run(
+        self,
+        live: Trace,
+        window_width: float,
+        split_seed: int = 0,
+        faults: object = _UNSET,
+    ) -> "SystemReport":
+        self._prefetched = {}
+        self._truth = {}
+        self._truth_sizes = {}
+        self._segmented_cache = None
+        if self.control_center.function is not None:
+            # Untrained systems skip straight to the base loop's
+            # "call train() before run()" error.
+            self._prefetch(live, window_width, split_seed)
+        try:
+            return super().run(live, window_width, split_seed, faults)
+        finally:
+            # Per-run caches can pin the whole live trace; drop them.
+            self._segmented_cache = None
+            self._truth = {}
+            self._truth_sizes = {}

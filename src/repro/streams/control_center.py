@@ -27,7 +27,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..algorithms.construct import build
-from ..algorithms.incremental import new_session, supports_incremental
+from ..algorithms.incremental import (
+    memo_compatible,
+    memo_config_key,
+    new_session,
+    supports_incremental,
+)
 from ..core.compiled import CompiledEstimator
 from ..core.errors import DistributiveErrorMetric, PenaltyMetric
 from ..core.estimate import reconstruct_estimates
@@ -104,6 +109,7 @@ class ControlCenter:
         cache_size: int = 8,
         stale_policy: str = "strict",
         incremental: bool = False,
+        shared_cache=None,
         **builder_options,
     ) -> None:
         if cache_size < 0:
@@ -138,6 +144,14 @@ class ControlCenter:
             algorithm, builder_options
         )
         self._curve_memo = None
+        #: Cross-tenant cache (:class:`repro.serving.SharedServingCache`
+        #: or anything with its ``get_function``/``put_function``/
+        #: ``get_memo``/``put_memo`` surface).  Keyed by the table
+        #: fingerprint *plus* the rebuild fingerprint, so tenants with
+        #: identical group tables, history counts and configuration
+        #: reuse each other's DP work; ``None`` keeps every tenant's
+        #: work private.
+        self.shared_cache = shared_cache
         #: Online quality bookkeeping (drift reference per function
         #: version); consulted by :meth:`decode_window` when metrics or
         #: the event journal are live.
@@ -174,8 +188,9 @@ class ControlCenter:
         counts = np.asarray(history_counts, dtype=np.float64)
         registry = get_registry()
         key: Optional[bytes] = None
-        if self.cache_size > 0:
+        if self.cache_size > 0 or self.shared_cache is not None:
             key = self._fingerprint(counts)
+        if self.cache_size > 0 and key is not None:
             cached = self._function_cache.get(key)
             if cached is not None:
                 self._function_cache.move_to_end(key)
@@ -192,6 +207,34 @@ class ControlCenter:
                         cached.size_bits()
                     )
                 return cached
+        if self.shared_cache is not None and key is not None:
+            shared = self.shared_cache.get_function(
+                self.table.fingerprint(), key
+            )
+            if shared is not None:
+                # Another tenant (same table, counts and configuration)
+                # already ran this DP; adopt its function.  It enters
+                # the local LRU too, so repeat recalibrations stay
+                # process-local.
+                if self.cache_size > 0:
+                    self._function_cache[key] = shared
+                    while len(self._function_cache) > self.cache_size:
+                        self._function_cache.popitem(last=False)
+                self.function = shared
+                self.function_version += 1
+                self._journal_rebuild(shared, cache="shared")
+                if registry.enabled:
+                    registry.counter("control.rebuilds").inc()
+                    registry.counter(
+                        "control.rebuild.cache.shared_hits"
+                    ).inc()
+                    registry.gauge("control.function.buckets").set(
+                        shared.num_buckets
+                    )
+                    registry.gauge("control.function.bits").set(
+                        shared.size_bits()
+                    )
+                return shared
         inc_stats: Optional[Dict[str, float]] = None
         with span(
             "control.rebuild", algorithm=self.algorithm, budget=self.budget,
@@ -199,6 +242,21 @@ class ControlCenter:
             hierarchy = PrunedHierarchy(self.table, counts)
             session = None
             if self.incremental:
+                if self._curve_memo is None and self.shared_cache is not None:
+                    # Cold start: seed from a config-compatible memo
+                    # another tenant with the same table left behind.
+                    candidate = self.shared_cache.get_memo(
+                        self.table.fingerprint(),
+                        memo_config_key(
+                            self.algorithm, self.metric, self.budget,
+                            self.builder_options,
+                        ),
+                    )
+                    if memo_compatible(
+                        candidate, self.algorithm, self.metric,
+                        self.budget, self.builder_options,
+                    ):
+                        self._curve_memo = candidate
                 session = new_session(
                     self.algorithm, hierarchy, self.metric, self.budget,
                     self._curve_memo, **self.builder_options,
@@ -210,6 +268,12 @@ class ControlCenter:
             self.function = result.function_at(self.budget)
             if session is not None:
                 self._curve_memo = session.finish()
+                if self.shared_cache is not None:
+                    self.shared_cache.put_memo(
+                        self.table.fingerprint(),
+                        self._curve_memo.config,
+                        self._curve_memo,
+                    )
                 inc_stats = session.stats()
                 sp.annotate(
                     dirty_subtrees=inc_stats["dirty_subtrees"],
@@ -224,10 +288,14 @@ class ControlCenter:
             self.function, cache="miss" if key is not None else "off",
             incremental=inc_stats,
         )
-        if key is not None:
+        if key is not None and self.cache_size > 0:
             self._function_cache[key] = self.function
             while len(self._function_cache) > self.cache_size:
                 self._function_cache.popitem(last=False)
+        if key is not None and self.shared_cache is not None:
+            self.shared_cache.put_function(
+                self.table.fingerprint(), key, self.function
+            )
         if registry.enabled:
             registry.counter("control.rebuilds").inc()
             if key is not None:

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..core.compiled import CompiledPartitioner
 from ..core.partition import Histogram, PartitioningFunction
-from ..core.wire import WIRE_FORMATS, encode_histogram_v2
+from ..core.wire import WIRE_FORMATS, encode_histogram_v2, encode_histograms_v2
 from ..obs import get_registry
 from .kernels import stream_kernel_mode
 
@@ -60,7 +60,7 @@ class HistogramMessage:
 class Monitor:
     """A remote observation point partitioning its identifier stream."""
 
-    def __init__(self, name: str, wire_format: str = "v1") -> None:
+    def __init__(self, name: str, wire_format: str = "v2") -> None:
         if wire_format not in WIRE_FORMATS:
             raise ValueError(
                 f"wire_format must be one of {WIRE_FORMATS}, "
@@ -211,6 +211,31 @@ class Monitor:
         self._account(
             len(arrays), sum(int(a.size) for a in arrays), histograms
         )
+        return self._messages(window_indices, histograms)
+
+    def _messages(
+        self, window_indices: Sequence[int], histograms: Sequence[Histogram]
+    ) -> List[HistogramMessage]:
+        """Batched :meth:`_message`: one vectorized v2 encode pass for
+        the whole window batch (:func:`~repro.core.wire.encode_histograms_v2`
+        is byte-identical to per-histogram encodes)."""
+        if self.wire_format != "v2":
+            return [
+                self._message(w, h)
+                for w, h in zip(window_indices, histograms)
+            ]
+        payloads = encode_histograms_v2(
+            histograms,
+            self.function.domain,
+            semantics=self.function.semantics,
+        )
         return [
-            self._message(w, h) for w, h in zip(window_indices, histograms)
+            HistogramMessage(
+                monitor=self.name,
+                window_index=w,
+                histogram=h,
+                function_version=self.function_version,
+                payload=p,
+            )
+            for w, h, p in zip(window_indices, histograms, payloads)
         ]

@@ -142,6 +142,10 @@ class SystemReport:
 class MonitoringSystem:
     """A Control Center plus a fleet of Monitors over one channel."""
 
+    #: Control-center implementation to instantiate — subclasses swap
+    #: in specialized decoders (the serving layer's fan-in center).
+    control_center_class = ControlCenter
+
     def __init__(
         self,
         table: GroupTable,
@@ -155,7 +159,8 @@ class MonitoringSystem:
         faults: Optional[FaultModel] = None,
         max_install_attempts: int = 64,
         parallel: int = 1,
-        wire_format: str = "v1",
+        wire_format: str = "v2",
+        shared_cache=None,
         **builder_options,
     ) -> None:
         if num_monitors < 1:
@@ -174,15 +179,16 @@ class MonitoringSystem:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
         self.table = table
         self.metric = metric
-        self.control_center = ControlCenter(
+        self.control_center = self.control_center_class(
             table, metric, algorithm=algorithm, budget=budget,
             cache_size=cache_size, stale_policy=stale_policy,
-            incremental=incremental, **builder_options,
+            incremental=incremental, shared_cache=shared_cache,
+            **builder_options,
         )
-        #: Histogram wire format Monitors speak (``"v1"`` keeps the
-        #: modelled (node, fixed-width counter) accounting and
-        #: byte-identical seed reports; ``"v2"`` ships the queryable
-        #: self-describing encoding from :mod:`repro.core.wire`).
+        #: Histogram wire format Monitors speak (``"v2"``, the default,
+        #: ships the queryable self-describing encoding from
+        #: :mod:`repro.core.wire`; ``"v1"`` keeps the modelled
+        #: (node, fixed-width counter) accounting of the seed era).
         self.wire_format = wire_format
         self.monitors = [
             Monitor(f"monitor-{i}", wire_format=wire_format)
@@ -238,6 +244,60 @@ class MonitoringSystem:
                 )
 
     # -- the windowed pipeline ---------------------------------------------
+    def _partition_jobs(self, pool, jobs):
+        """Phase 2 of the window loop: turn the planned ``(monitor,
+        window, fault-plan)`` jobs into outgoing histogram messages.
+
+        Pure per-monitor work — no RNG draws, no channel writes — so
+        subclasses may fan it out however they like (the thread pool
+        here; shard worker processes in
+        :class:`repro.serving.ShardedMonitoringSystem`) as long as the
+        returned messages are bit-identical to the serial loop's.
+        """
+        if pool is not None and len(jobs) > 1:
+            built = list(
+                pool.map(
+                    lambda job: job[0]._build(
+                        np.asarray(job[1].uids, dtype=np.int64),
+                        job[1].values,
+                    ),
+                    jobs,
+                )
+            )
+            messages = []
+            for (monitor, window, _), hist in zip(jobs, built):
+                monitor._account(1, int(window.uids.size), (hist,))
+                messages.append(monitor._message(window.index, hist))
+            return messages
+        return [
+            monitor.process_window(
+                window.index, window.uids, values=window.values
+            )
+            for monitor, window, _ in jobs
+        ]
+
+    def _segment_shares(
+        self, live: Trace, window_width: float, split_seed: int
+    ) -> List[list]:
+        """Split the live trace across Monitors and segment each share
+        into tumbling windows.  Deterministic (the split is seeded), so
+        subclasses that already derived the same decomposition (the
+        serving layer's prefetch pass) may return it instead."""
+        shares = live.split(len(self.monitors), seed=split_seed)
+        windows = TumblingWindows(window_width)
+        return [list(windows.segment(share)) for share in shares]
+
+    def _ground_truth(
+        self, window: int, uids: np.ndarray, values: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Exact per-group aggregates for one window's full traffic.
+
+        Subclass extension point: the serving layer precomputes the
+        whole run's ground truth in one batched pass
+        (:func:`~.query.exact_group_counts_batched`) and answers from
+        the matrix — bit-identical to this per-window join."""
+        return exact_group_counts(self.table, uids, values=values)
+
     def _after_window(
         self,
         window: int,
@@ -270,15 +330,20 @@ class MonitoringSystem:
         installer = InstallScheduler()
         #: arrival tick -> deliveries landing there (delayed copies).
         in_flight: Dict[int, List[Delivery]] = {}
+        # The pool is scoped to this run: created fresh, torn down in
+        # the ``finally`` below with ``cancel_futures=True`` so a
+        # mid-run exception (a poisoned window, a KeyboardInterrupt)
+        # never leaks worker threads into the next ``run()`` call.
         pool = (
-            ThreadPoolExecutor(max_workers=self.parallel)
+            ThreadPoolExecutor(
+                max_workers=self.parallel,
+                thread_name_prefix="repro-partition",
+            )
             if self.parallel > 1
             else None
         )
         try:
-            shares = live.split(len(self.monitors), seed=split_seed)
-            windows = TumblingWindows(window_width)
-            segmented = [list(windows.segment(share)) for share in shares]
+            segmented = self._segment_shares(live, window_width, split_seed)
             n_windows = max((len(s) for s in segmented), default=0)
             if journal.enabled:
                 faults_spec = (
@@ -365,33 +430,7 @@ class MonitoringSystem:
                     # Phase 2: partition every reporting Monitor's
                     # window — pure per-monitor work, fanned out across
                     # the pool when one is configured.
-                    if pool is not None and len(jobs) > 1:
-                        built = list(
-                            pool.map(
-                                lambda job: job[0]._build(
-                                    np.asarray(job[1].uids, dtype=np.int64),
-                                    job[1].values,
-                                ),
-                                jobs,
-                            )
-                        )
-                        messages = []
-                        for (monitor, window, _), hist in zip(jobs, built):
-                            monitor._account(
-                                1, int(window.uids.size), (hist,)
-                            )
-                            messages.append(
-                                monitor._message(window.index, hist)
-                            )
-                    else:
-                        messages = [
-                            monitor.process_window(
-                                window.index,
-                                window.uids,
-                                values=window.values,
-                            )
-                            for monitor, window, _ in jobs
-                        ]
+                    messages = self._partition_jobs(pool, jobs)
                     # Phase 3 (sequential): sends in monitor order,
                     # applying the pre-drawn fault plans.
                     for (monitor, window, plan), msg in zip(jobs, messages):
@@ -443,9 +482,7 @@ class MonitoringSystem:
                         if len(window_values) == len(window_uids)
                         else None
                     )
-                    actual = exact_group_counts(
-                        self.table, uids, values=vals
-                    )
+                    actual = self._ground_truth(w, uids, vals)
                     decoded = cc.decode_window(
                         on_time, expected_monitors=expected
                     )
@@ -545,7 +582,7 @@ class MonitoringSystem:
         finally:
             self.channel.faults = previous_faults
             if pool is not None:
-                pool.shutdown(wait=True)
+                pool.shutdown(wait=True, cancel_futures=True)
         report.upstream_bytes = self.channel.upstream_bytes
         report.function_bytes = self.channel.downstream_bytes
         if slo.enabled:

@@ -118,6 +118,51 @@ class TestSimulate:
         assert "unknown fault spec key" in capsys.readouterr().err
 
 
+SERVING_SMALL = ["simulate", "--height", "10", "--packets", "20000",
+                 "--budget", "20", "--monitors", "2", "--windows", "3"]
+
+
+class TestSimulateServing:
+    def test_sharded_run_matches_serial_output(self, capsys):
+        assert main(SERVING_SMALL) == 0
+        serial = capsys.readouterr().out
+        assert main(SERVING_SMALL + ["--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == serial
+
+    def test_shards_require_v2_wire_format(self, capsys):
+        assert main(SERVING_SMALL + ["--shards", "2",
+                                     "--wire-format", "v1"]) == 2
+        assert "--wire-format v2" in capsys.readouterr().err
+
+    def test_shards_must_be_positive(self, capsys):
+        assert main(SERVING_SMALL + ["--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_tenants_print_admission_and_budgets(self, capsys):
+        assert main(SERVING_SMALL + [
+            "--shards", "2",
+            "--tenants",
+            "alpha:budget=20,bytes=4000;beta:budget=20,bytes=150;gamma",
+            "--capacity-bytes", "5000",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "tenants admitted  : 2 of 3" in text
+        assert "tenant alpha:" in text
+        assert "of 4000 budgeted" in text
+        assert "[OVER BUDGET]" in text  # beta's 150-byte budget is tiny
+        assert ("tenant gamma: rejected (no byte budget declared "
+                "under capacity control)") in text
+
+    def test_capacity_bytes_requires_tenants(self, capsys):
+        assert main(SERVING_SMALL + ["--capacity-bytes", "100"]) == 2
+        assert "--capacity-bytes needs --tenants" in capsys.readouterr().err
+
+    def test_bad_tenant_spec_rejected(self, capsys):
+        assert main(SERVING_SMALL + ["--tenants", "bad:frob=1"]) == 2
+        assert "unknown tenant option" in capsys.readouterr().err
+
+
 SIMULATE_SMALL = ["simulate", "--height", "10", "--packets", "20000",
                   "--budget", "20", "--monitors", "2", "--windows", "3"]
 

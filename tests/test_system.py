@@ -357,3 +357,43 @@ class TestWireFormatV2:
         table, _history, _live = workload
         with pytest.raises(ValueError):
             MonitoringSystem(table, get_metric("rms"), wire_format="v3")
+
+
+class TestParallelPoolRobustness:
+    def test_mid_run_exception_raises_and_leaks_no_threads(self, workload):
+        """A poisoned window under ``parallel>1`` must propagate the
+        exception, reap every pool thread (the pool is context-managed
+        per run), and leave the system usable for the next run."""
+        import threading
+
+        table, history, live = workload
+        system = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=2,
+            algorithm="lpm_greedy", budget=40, parallel=3,
+        )
+        system.train(history)
+        reference = system.run(live, window_width=5.0)
+
+        victim = system.monitors[0]
+        original_build = victim._build
+        calls = {"n": 0}
+
+        def poisoned_build(uids, values):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("poisoned window")
+            return original_build(uids, values)
+
+        victim._build = poisoned_build
+        with pytest.raises(RuntimeError, match="poisoned window"):
+            system.run(live, window_width=5.0)
+        leaked = [
+            t for t in threading.enumerate()
+            if t.name.startswith("repro-partition")
+        ]
+        assert leaked == []
+
+        victim._build = original_build
+        recovered = system.run(live, window_width=5.0)
+        assert recovered.windows == reference.windows
+        assert recovered.mean_error == reference.mean_error

@@ -43,6 +43,7 @@ from repro.core.wire import (
     WireHistogram,
     decode_histogram_v2,
     encode_histogram_v2,
+    encode_histograms_v2,
     merge_wire,
 )
 from repro.streams import use_stream_kernel_mode
@@ -445,3 +446,188 @@ class TestGoldenFixtures:
         assert out.counts == hist.counts
         assert out.unmatched == hist.unmatched
         assert out.total == hist.total
+
+
+# -- k-way shard merge properties -----------------------------------------
+
+def histogram_fleets(max_height=8, max_shards=5):
+    """(domain, [histograms...]) over ONE shared domain — the shape of
+    a shard fleet reporting one window.  Shards may be empty (a quiet
+    monitor), counters mix integral and float64 modes, and every value
+    is a multiple of 1/16 well inside float64's exact range, so
+    addition is associative and the merge contract below is exact
+    byte-identity, not approximate equality.
+    """
+
+    @st.composite
+    def strat(draw):
+        height = draw(st.integers(min_value=0, max_value=max_height))
+        dom = UIDDomain(height)
+        node_limit = (1 << (height + 1)) - 1
+        n_shards = draw(st.integers(min_value=2, max_value=max_shards))
+        fleet = []
+        for _ in range(n_shards):
+            nodes = sorted(
+                draw(
+                    st.lists(
+                        st.integers(min_value=1, max_value=node_limit),
+                        max_size=12, unique=True,
+                    )
+                )
+            )
+            sixteenths = draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=2**40),
+                    min_size=len(nodes), max_size=len(nodes),
+                )
+            )
+            if draw(st.booleans()):
+                values = [v / 16.0 for v in sixteenths]  # float64 mode
+            else:
+                values = [float(v) for v in sixteenths]  # integral mode
+            unmatched = float(draw(st.integers(min_value=0, max_value=50)))
+            values_arr = np.asarray(values, dtype=np.float64)
+            fleet.append(
+                Histogram.from_arrays(
+                    np.asarray(nodes, dtype=np.int64),
+                    values_arr,
+                    unmatched=unmatched,
+                    total=float(np.sum(values_arr)) + unmatched,
+                )
+            )
+        return dom, fleet
+
+    return strat()
+
+
+class TestShardMergeProperties:
+    """The serving fan-in merges shard payloads in whatever order and
+    grouping the workers deliver them; these properties pin that the
+    merged payload bytes cannot depend on either."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(histogram_fleets(), st.sampled_from(SEMANTICS), st.data())
+    def test_shard_order_permutation_is_byte_identical(
+        self, case, semantics, data
+    ):
+        dom, fleet = case
+        payloads = [
+            encode_histogram_v2(h, dom, semantics=semantics) for h in fleet
+        ]
+        merged = merge_wire(payloads)
+        shuffled = data.draw(st.permutations(payloads))
+        assert merge_wire(shuffled) == merged
+
+    @settings(max_examples=80, deadline=None)
+    @given(histogram_fleets(), st.sampled_from(SEMANTICS), st.data())
+    def test_associative_grouping_is_byte_identical(
+        self, case, semantics, data
+    ):
+        """Left-fold, flat k-way, and split-in-two tree merges must
+        all produce the same payload bytes."""
+        dom, fleet = case
+        payloads = [
+            encode_histogram_v2(h, dom, semantics=semantics) for h in fleet
+        ]
+        flat = merge_wire(payloads)
+        cut = data.draw(
+            st.integers(min_value=1, max_value=len(payloads) - 1)
+        )
+        tree = merge_wire(
+            [merge_wire(payloads[:cut]), merge_wire(payloads[cut:])]
+        )
+        assert tree == flat
+        fold = payloads[0]
+        for payload in payloads[1:]:
+            fold = merge_wire([fold, payload])
+        assert fold == flat
+
+    @settings(max_examples=40, deadline=None)
+    @given(histogram_fleets(max_shards=3), st.sampled_from(SEMANTICS))
+    def test_empty_shards_are_merge_neutral(self, case, semantics):
+        dom, fleet = case
+        empty = encode_histogram_v2(Histogram({}), dom, semantics=semantics)
+        payloads = [
+            encode_histogram_v2(h, dom, semantics=semantics) for h in fleet
+        ]
+        with_empties = [empty] + payloads + [empty]
+        assert merge_wire(with_empties) == merge_wire(payloads)
+
+
+# -- batched monitor-side encode ------------------------------------------
+
+def histogram_batches(max_height=8, max_batch=8):
+    """(domain, [histograms...]) over one domain for the batched
+    encoder: arbitrary finite positive counters (not just exact ones —
+    batched vs scalar is the same arithmetic, so identity must hold
+    for any encodable input), empty histograms, and non-derivable
+    explicit totals mixed in."""
+
+    @st.composite
+    def strat(draw):
+        height = draw(st.integers(min_value=0, max_value=max_height))
+        dom = UIDDomain(height)
+        node_limit = (1 << (height + 1)) - 1
+        batch = []
+        for _ in range(draw(st.integers(min_value=0, max_value=max_batch))):
+            nodes = sorted(
+                draw(
+                    st.lists(
+                        st.integers(min_value=1, max_value=node_limit),
+                        max_size=10, unique=True,
+                    )
+                )
+            )
+            if draw(st.booleans()):
+                values = draw(
+                    st.lists(
+                        st.floats(
+                            min_value=1e-6, max_value=1e15,
+                            allow_nan=False, allow_infinity=False,
+                        ),
+                        min_size=len(nodes), max_size=len(nodes),
+                    )
+                )
+            else:
+                values = [
+                    float(v) for v in draw(
+                        st.lists(
+                            st.integers(min_value=1, max_value=2**63 - 1),
+                            min_size=len(nodes), max_size=len(nodes),
+                        )
+                    )
+                ]
+            unmatched = float(draw(st.integers(min_value=0, max_value=20)))
+            values_arr = np.asarray(values, dtype=np.float64)
+            total = float(np.sum(values_arr)) + unmatched
+            if draw(st.booleans()):
+                total += 1.0  # force the explicit-totals section
+            batch.append(
+                Histogram.from_arrays(
+                    np.asarray(nodes, dtype=np.int64),
+                    values_arr,
+                    unmatched=unmatched,
+                    total=total,
+                )
+            )
+        return dom, batch
+
+    return strat()
+
+
+class TestBatchedEncode:
+    @settings(max_examples=100, deadline=None)
+    @given(histogram_batches(), st.sampled_from(SEMANTICS))
+    def test_batched_encode_matches_scalar_bytes(self, case, semantics):
+        """One vectorized encode pass over a mixed batch must emit the
+        exact bytes of one scalar encode per histogram — the sharded
+        Monitor's batched send path may never change the wire."""
+        dom, batch = case
+        batched = encode_histograms_v2(batch, dom, semantics=semantics)
+        scalar = [
+            encode_histogram_v2(h, dom, semantics=semantics) for h in batch
+        ]
+        assert batched == scalar
+
+    def test_batched_encode_empty_list(self):
+        assert encode_histograms_v2([], UIDDomain(4)) == []
