@@ -31,6 +31,11 @@ Extra legs:
 * tenant scaling — a :class:`~repro.serving.ServingEngine` fleet
   sharing one :class:`~repro.serving.SharedServingCache`, with cache
   hit/miss stats and admission outcomes.
+* observability overhead — every grid point reruns the top shard
+  count with a live metrics registry + journal (worker snapshot
+  fan-in, resource profiler, shard/tenant rollups all active) and
+  records the cost ratio against the uninstrumented sharded run,
+  asserting the report stays identical to an instrumented serial run.
 
 Usage::
 
@@ -42,6 +47,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import time
@@ -51,6 +57,7 @@ from repro.core.domain import UIDDomain
 from repro.core.errors import AverageError
 from repro.data import TrafficModel, generate_subnet_table
 from repro.data.traffic import generate_timestamped_trace
+from repro.obs import EventJournal, MetricsRegistry, use_journal, use_registry
 from repro.serving import ServingEngine, SharedServingCache, ShardedMonitoringSystem
 from repro.streams import FaultModel, MonitoringSystem, Trace
 
@@ -220,6 +227,34 @@ def _bench_point(
         live, window_width=width, faults=FaultModel(**FAULTS)
     )
     faulty_identical = sharded_faulty == serial_faulty
+
+    # Observability-overhead guardrail: the top shard count rerun with
+    # a live registry + journal (worker fan-in, resource profiler, the
+    # whole cross-process telemetry path) must stay report-identical to
+    # a serial run under the same instrumentation, and its cost lands
+    # in the report as its own column.  Serial and sharded interleave
+    # with fresh sinks per rep, keeping both systems' run counts in
+    # lockstep (channel byte totals accumulate per system, so reports
+    # only compare equal between systems with identical run histories).
+    top_shards = max(SHARD_COUNTS)
+    serial_tel_total: List[float] = []
+    shard_tel_total: List[float] = []
+    serial_telemetry = telemetry_report = None
+    for _rep in range(reps):
+        with use_registry(MetricsRegistry()), \
+                use_journal(EventJournal(io.StringIO())):
+            t0 = time.perf_counter()
+            serial_telemetry = serial.run(live, window_width=width)
+            serial_tel_total.append(time.perf_counter() - t0)
+        with use_registry(MetricsRegistry()), \
+                use_journal(EventJournal(io.StringIO())):
+            t0 = time.perf_counter()
+            telemetry_report = sharded[top_shards].run(
+                live, window_width=width
+            )
+            shard_tel_total.append(time.perf_counter() - t0)
+    telemetry_identical = telemetry_report == serial_telemetry
+
     prefetch_misses = {
         k: sharded[k].prefetch_misses for k in SHARD_COUNTS
     }
@@ -248,6 +283,18 @@ def _bench_point(
         },
         "shards": {},
         "faulty_identical_shards_%d" % max(SHARD_COUNTS): faulty_identical,
+        "telemetry": {
+            "shards": top_shards,
+            "full_run_s": round(min(shard_tel_total), 6),
+            "overhead_vs_plain": round(
+                min(shard_tel_total) / min(shard_total[top_shards]), 3
+            ),
+            "serial_full_run_s": round(min(serial_tel_total), 6),
+            "serial_overhead_vs_plain": round(
+                min(serial_tel_total) / best_serial, 3
+            ),
+            "report_identical": telemetry_identical,
+        },
     }
     for shards in SHARD_COUNTS:
         best = min(shard_total[shards])
@@ -374,12 +421,15 @@ def run_grid(grid: str, mode: str, reps: int) -> Dict[str, object]:
         top = point["shards"][str(max(SHARD_COUNTS))]
         print(
             "h=%d n=%d windows=%d: shards=%d ingest+decode %sx, "
-            "full run %sx, identical=%s, faulty_identical=%s"
+            "full run %sx, identical=%s, faulty_identical=%s, "
+            "telemetry %sx cost (identical=%s)"
             % (
                 height, tuples, point["workload"]["windows"],
                 max(SHARD_COUNTS), top["ingest_decode_speedup"],
                 top["full_run_speedup"], top["report_identical"],
                 point["faulty_identical_shards_%d" % max(SHARD_COUNTS)],
+                point["telemetry"]["overhead_vs_plain"],
+                point["telemetry"]["report_identical"],
             )
         )
     largest = points[-1]
@@ -414,6 +464,12 @@ def run_grid(grid: str, mode: str, reps: int) -> Dict[str, object]:
         "all_faulty_identical": all(
             p["faulty_identical_shards_%d" % max(SHARD_COUNTS)]
             for p in points
+        ),
+        "all_telemetry_identical": all(
+            p["telemetry"]["report_identical"] for p in points
+        ),
+        "max_telemetry_overhead": max(
+            p["telemetry"]["overhead_vs_plain"] for p in points
         ),
     }
     if mode in ("threads", "all"):
@@ -478,6 +534,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {os.path.abspath(path)}")
     if not doc["all_reports_identical"] or not doc["all_faulty_identical"]:
         print("FAIL: sharded reports are not identical to serial")
+        return 1
+    if not doc["all_telemetry_identical"]:
+        print(
+            "FAIL: sharded report with telemetry enabled differs from "
+            "the instrumented serial run"
+        )
         return 1
     if args.grid == "full" and not doc["largest_point"][
         "meets_3x_ingest_decode"

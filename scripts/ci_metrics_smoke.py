@@ -16,8 +16,16 @@ the event journal and the periodic metrics writer all enabled, then:
 4. exports the journal with ``repro trace`` and validates the Chrome
    Trace Event document (JSON parses, every delivery flow is paired).
 
+A second leg reruns the pipeline with ``--shards 2`` to smoke the
+cross-process telemetry fan-in: it polls ``/metrics`` until
+``shard=``-labelled families appear (worker registries merged back
+into the parent), requires ``/shards.json`` to parse with per-shard
+rollups for both workers and the parent, replays the journal for
+byte-identity, and validates that the Chrome trace grew ``shard-N``
+worker tracks with duration-sized prefetch slices.
+
 Exits nonzero (with a diagnostic) on any failure; CI uploads the
-journal and trace as artifacts in that case.
+journals and traces as artifacts in that case.
 """
 
 from __future__ import annotations
@@ -36,6 +44,26 @@ JOURNAL = "ci_smoke.journal"
 METRICS = "ci_smoke.jsonl"
 TRACE = "ci_smoke.trace.json"
 SLO = "coverage>=0.5,delivery_p99_windows<=4,drift_score<=2"
+
+SHARD_PORT = 9106
+SHARD_URL = f"http://127.0.0.1:{SHARD_PORT}"
+SHARD_JOURNAL = "ci_smoke_shards.journal"
+SHARD_TRACE = "ci_smoke_shards.trace.json"
+
+SIMULATE_SHARDED = [
+    sys.executable, "-m", "repro", "simulate",
+    "--height", "10", "--packets", "120000", "--windows", "6",
+    "--monitors", "4", "--budget", "60",
+    "--shards", "2",
+    "--journal", SHARD_JOURNAL,
+    "--serve-metrics", f"127.0.0.1:{SHARD_PORT}",
+    "--serve-linger", "10",
+]
+
+#: Families the sharded leg must see carrying a ``shard=`` label —
+#: per-monitor build accounting merged back from the workers plus the
+#: worker resource profile.
+SHARD_FAMILIES = ("monitor_windows", "monitor_tuples", "proc_cpu_user_seconds")
 
 SIMULATE = [
     sys.executable, "-m", "repro", "simulate",
@@ -100,8 +128,8 @@ def validate_exposition(text: str) -> None:
             fail(f"quality gauge {name} missing or not a gauge")
 
 
-def get(path: str, timeout: float = 2.0) -> str:
-    with urllib.request.urlopen(f"{URL}{path}", timeout=timeout) as resp:
+def get(path: str, timeout: float = 2.0, base: str = URL) -> str:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as resp:
         return resp.read().decode("utf-8")
 
 
@@ -211,7 +239,144 @@ def main() -> int:
         f"trace export valid: {len(events)} events, "
         f"{len(tails)} delivery flows all paired"
     )
+    rc = sharded_leg()
+    if rc != 0:
+        return rc
     print("metrics smoke OK")
+    return 0
+
+
+def sharded_leg() -> int:
+    """Smoke the cross-process telemetry fan-in with ``--shards 2``."""
+    proc = subprocess.Popen(
+        SIMULATE_SHARDED,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    scraped = None
+    try:
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                early_out, early_err = proc.communicate()
+                print(
+                    "FAIL: sharded simulate exited before /metrics showed "
+                    f"shard-labelled families (rc={proc.returncode})\n"
+                    f"--- stdout\n{early_out}\n--- stderr\n{early_err}",
+                    file=sys.stderr,
+                )
+                return 1
+            try:
+                text = get("/metrics", base=SHARD_URL)
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.05)
+                continue
+            if all(
+                f'{family}{{' in text and 'shard="' in text
+                for family in SHARD_FAMILIES
+            ) and all(
+                'shard="' in line
+                for line in text.splitlines()
+                if line.startswith(SHARD_FAMILIES[0] + "{")
+            ) and all(
+                f"# TYPE {g} gauge" in text for g in QUALITY_GAUGES
+            ):
+                scraped = text
+                break
+            time.sleep(0.05)
+        if scraped is None:
+            fail("timed out waiting for shard-labelled families on /metrics")
+        validate_exposition(scraped)
+        shard_lines = [ln for ln in scraped.splitlines() if 'shard="' in ln]
+        print(
+            f"sharded /metrics mid-run: {len(shard_lines)} shard-labelled "
+            "samples, exposition valid"
+        )
+        shards_doc = json.loads(get("/shards.json", base=SHARD_URL))
+        for key in ("shards", "tenants"):
+            if key not in shards_doc:
+                fail(f"/shards.json missing {key!r}: {shards_doc}")
+        shard_ids = set(shards_doc["shards"])
+        for wanted in ("0", "1"):
+            if wanted not in shard_ids:
+                fail(
+                    f"/shards.json missing worker shard {wanted!r}: "
+                    f"{sorted(shard_ids)}"
+                )
+        for shard, rollup in shards_doc["shards"].items():
+            if not isinstance(rollup, dict) or not rollup:
+                fail(f"/shards.json shard {shard!r} rollup empty: {rollup}")
+        print(f"/shards.json: per-shard rollups for {sorted(shard_ids)}")
+        out, err = proc.communicate(timeout=180)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        fail("sharded simulate did not exit in time")
+    except BaseException:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        raise
+    if proc.returncode != 0:
+        fail(f"sharded simulate failed (rc={proc.returncode})\n{err}")
+
+    replay = subprocess.run(
+        [sys.executable, "-m", "repro", "replay", SHARD_JOURNAL],
+        capture_output=True, text=True,
+    )
+    if replay.returncode != 0:
+        fail(
+            f"sharded replay failed (rc={replay.returncode})\n"
+            f"{replay.stderr}"
+        )
+    if replay.stdout != out:
+        fail(
+            "sharded replay differs from the live run\n"
+            f"--- live\n{out}\n--- replayed\n{replay.stdout}"
+        )
+    print("sharded replay reproduced the live run summary byte-for-byte")
+
+    trace = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", SHARD_JOURNAL,
+         "-o", SHARD_TRACE],
+        capture_output=True, text=True,
+    )
+    if trace.returncode != 0:
+        fail(f"sharded trace export failed (rc={trace.returncode})\n"
+             f"{trace.stderr}")
+    if trace.stderr:
+        fail(f"sharded trace export warned:\n{trace.stderr}")
+    with open(SHARD_TRACE) as f:
+        doc = json.load(f)
+    if doc.get("otherData", {}).get("shards") != [0, 1]:
+        fail(f"trace otherData.shards != [0, 1]: {doc.get('otherData')}")
+    thread_names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    for wanted in ("shard-0", "shard-1"):
+        if wanted not in thread_names:
+            fail(f"trace missing worker track {wanted!r}: {thread_names}")
+    prefetch = [
+        e for e in doc["traceEvents"]
+        if e.get("ph") == "X"
+        and str(e.get("name", "")).startswith("prefetch ")
+    ]
+    if not prefetch:
+        fail("trace has no worker prefetch slices on the shard tracks")
+    if any(e.get("dur", 0) <= 0 for e in prefetch):
+        fail("worker prefetch slice with non-positive duration")
+    tails = [e["id"] for e in doc["traceEvents"] if e.get("ph") == "s"]
+    heads = [e["id"] for e in doc["traceEvents"] if e.get("ph") == "f"]
+    if sorted(tails) != sorted(heads):
+        fail(
+            f"sharded trace unpaired delivery flows: {len(tails)} starts "
+            f"vs {len(heads)} finishes"
+        )
+    print(
+        f"sharded trace valid: tracks for shards 0/1, "
+        f"{len(prefetch)} prefetch slices with measured durations"
+    )
     return 0
 
 

@@ -246,11 +246,22 @@ def _print_report(
                   f"value {a.value:.6g} [{status}]")
 
 
-def _print_tenant_reports(results, metric_name: str) -> None:
+def _print_tenant_reports(
+    results, metric_name: str, cache_stats=None
+) -> None:
     """Per-tenant summaries for ``simulate --tenants`` runs."""
     admitted = [r for r in results.values() if r.admitted]
     rejected = [r for r in results.values() if not r.admitted]
     print(f"tenants admitted  : {len(admitted)} of {len(results)}")
+    if cache_stats:
+        s = cache_stats
+        print(
+            "shared cache      : "
+            f"tables {s['table_hits']}/{s['table_hits'] + s['table_misses']} hit, "
+            f"functions {s['function_hits']}/"
+            f"{s['function_hits'] + s['function_misses']} hit, "
+            f"memos {s['memo_hits']}/{s['memo_hits'] + s['memo_misses']} hit"
+        )
     for tr in results.values():
         if not tr.admitted:
             continue
@@ -386,7 +397,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     trace.slice_time(half, args.duration),
                     window_width=half / max(1, args.windows),
                 )
-                _print_tenant_reports(results, args.metric)
+                _print_tenant_reports(
+                    results, args.metric, serving.cache.stats()
+                )
             else:
                 if args.shards > 1:
                     system = stack.enter_context(

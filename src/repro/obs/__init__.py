@@ -60,12 +60,32 @@ from .quality import (
 )
 from .journal import (
     NULL_JOURNAL,
+    BufferJournal,
     EventJournal,
     NullJournal,
     get_journal,
     read_journal,
     set_journal,
     use_journal,
+)
+from .crossproc import (
+    WIRE_SNAPSHOT_VERSION,
+    capture_worker_snapshot,
+    merge_snapshot,
+    merge_worker_snapshots,
+    parse_instrument_key,
+    replay_worker_events,
+    shard_tenant_summary,
+    snapshot_from_wire,
+    snapshot_to_wire,
+    worker_resource_events,
+)
+from .resources import (
+    PROC_GAUGES,
+    ResourceSample,
+    export_resources,
+    resource_delta,
+    sample_resources,
 )
 from .lifecycle import (
     DELIVERED_OUTCOMES,
@@ -138,12 +158,30 @@ __all__ = [
     "occupancy_skew",
     # event journal
     "EventJournal",
+    "BufferJournal",
     "NullJournal",
     "NULL_JOURNAL",
     "get_journal",
     "set_journal",
     "use_journal",
     "read_journal",
+    # cross-process telemetry
+    "WIRE_SNAPSHOT_VERSION",
+    "parse_instrument_key",
+    "snapshot_to_wire",
+    "snapshot_from_wire",
+    "capture_worker_snapshot",
+    "merge_snapshot",
+    "merge_worker_snapshots",
+    "replay_worker_events",
+    "worker_resource_events",
+    "shard_tenant_summary",
+    # resource profiling
+    "ResourceSample",
+    "PROC_GAUGES",
+    "sample_resources",
+    "resource_delta",
+    "export_resources",
     # lifecycle tracing
     "LifecycleTracer",
     "NullTracer",

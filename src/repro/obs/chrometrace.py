@@ -5,6 +5,12 @@ Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` can load:
 
 * one **track per monitor** plus one for the Control Center (threads
   of a single "repro run" process, named via metadata events);
+* one **track per shard worker** (``shard-N``) when the journal holds
+  cross-process telemetry (:mod:`repro.serving.sharded`):
+  ``shard.worker.batch`` events become prefetch slices sized by their
+  measured duration, ``shard.fanin`` events become fan-in merge slices
+  on the Control Center track, and prefetch/resource/summary events
+  annotate their shard's track as instants;
 * each lifecycle copy (``trace.sent`` → ``trace.delivered`` →
   ``trace.closed`` / ``trace.dropped``) becomes a **flow** — an ``s``
   arrow tail on the monitor's send slice, an optional ``t`` step on
@@ -77,13 +83,30 @@ def chrome_trace(events: Sequence[Dict]) -> Dict:
     read_journal`) into a Chrome Trace Event Format document."""
     monitors: List[str] = []
     seen: Set[str] = set()
+    shards: List[int] = []
+    shard_seen: Set[int] = set()
     for ev in events:
         name = ev.get("monitor")
         if isinstance(name, str) and name not in seen:
             seen.add(name)
             monitors.append(name)
+        kind = ev.get("event")
+        shard = ev.get("shard")
+        if (
+            isinstance(kind, str)
+            and kind.startswith("shard.")
+            and isinstance(shard, int)
+            and shard not in shard_seen
+        ):
+            shard_seen.add(shard)
+            shards.append(shard)
     monitors.sort()
+    shards.sort()
     tid_of = {name: i + 1 for i, name in enumerate(monitors)}
+    # Shard worker tracks sit below the monitor tracks.
+    shard_tid_of = {
+        shard: len(monitors) + 1 + i for i, shard in enumerate(shards)
+    }
 
     out: List[Dict] = [
         {
@@ -99,6 +122,11 @@ def chrome_trace(events: Sequence[Dict]) -> Dict:
         out.append({
             "ph": "M", "pid": _PID, "tid": tid,
             "name": "thread_name", "args": {"name": name},
+        })
+    for shard, tid in sorted(shard_tid_of.items(), key=lambda kv: kv[1]):
+        out.append({
+            "ph": "M", "pid": _PID, "tid": tid,
+            "name": "thread_name", "args": {"name": f"shard-{shard}"},
         })
 
     def slice_with_flow(
@@ -140,6 +168,36 @@ def chrome_trace(events: Sequence[Dict]) -> Dict:
                 "name": f"decode w{ev.get('window_index')}",
                 "args": _args(ev),
             })
+        elif kind == "shard.worker.batch":
+            # Re-sequenced worker events land in the parent journal at
+            # merge time, after the work; back-date the slice by its
+            # measured duration so it reads as the build it was.
+            dur = max(_SLICE_DUR_US, float(ev.get("duration_us", 0)))
+            out.append({
+                "ph": "X", "pid": _PID,
+                "tid": shard_tid_of.get(ev.get("shard"), _CENTER_TID),
+                "ts": max(0.0, _us(ev) - dur), "dur": dur,
+                "cat": "serving",
+                "name": f"prefetch {ev.get('monitor')}",
+                "args": _args(ev),
+            })
+        elif kind == "shard.fanin":
+            dur = max(_SLICE_DUR_US, float(ev.get("duration_us", 0)))
+            out.append({
+                "ph": "X", "pid": _PID, "tid": _CENTER_TID,
+                "ts": max(0.0, _us(ev) - dur), "dur": dur,
+                "cat": "serving",
+                "name": f"fan-in w{ev.get('window')}",
+                "args": _args(ev),
+            })
+        elif kind in ("shard.prefetch", "shard.worker.resources",
+                      "shard.summary"):
+            out.append({
+                "ph": "i", "pid": _PID,
+                "tid": shard_tid_of.get(ev.get("shard"), _CENTER_TID),
+                "ts": _us(ev), "s": "t", "cat": "serving", "name": kind,
+                "args": _args(ev),
+            })
         elif kind in _MONITOR_INSTANTS:
             out.append({
                 "ph": "i", "pid": _PID, "tid": mon_tid, "ts": _us(ev),
@@ -156,6 +214,7 @@ def chrome_trace(events: Sequence[Dict]) -> Dict:
         "otherData": {
             "source": "repro trace",
             "monitors": monitors,
+            "shards": shards,
             "journal_events": len(events),
         },
     }

@@ -42,6 +42,7 @@ from typing import Dict, Iterator, List, Optional, TextIO, Union
 
 __all__ = [
     "EventJournal",
+    "BufferJournal",
     "NullJournal",
     "NULL_JOURNAL",
     "get_journal",
@@ -83,6 +84,16 @@ EVENT_TYPES = (
     "tenant.rejected",   # admission control turned a tenant away (reason)
     "tenant.over_budget",  # a tenant's run exceeded its declared bytes
     "tenant.report",     # one tenant's run summary (windows, bytes, error)
+    # cross-process telemetry (see repro.obs.crossproc): events captured
+    # in a shard worker's BufferJournal are re-sequenced into the parent
+    # journal in deterministic (shard, seq) order, namespaced
+    # "shard.worker.<original event>" and stamped with shard /
+    # worker_seq / worker_ts fields.  Replay ignores them (they carry
+    # no decode state), so `repro replay` stays byte-identical:
+    "shard.worker.batch",      # one monitor's prefetch build inside a worker
+    "shard.worker.resources",  # a worker's per-batch CPU/RSS/GC sample
+    "shard.fanin",       # one window's k-way shard merge at the center
+    "shard.summary",     # per-shard resource totals (emitted at close())
 )
 
 
@@ -132,6 +143,61 @@ class EventJournal:
             self._file.close()
 
     def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BufferJournal:
+    """An in-memory journal: same ``emit`` contract as
+    :class:`EventJournal`, records appended to :attr:`events` instead
+    of a file.
+
+    This is the worker-side half of cross-process journal capture
+    (:mod:`repro.obs.crossproc`): a shard worker scopes a
+    ``BufferJournal``, its instrumented code emits events normally, and
+    the buffered records ride back over the IPC pipe (they are plain
+    JSON-safe dicts) to be re-sequenced into the parent's real
+    :class:`EventJournal` under the ``shard.worker.*`` namespace.
+    Sequence ids are gapless from 0 *within this buffer*; ``ts`` is
+    seconds since the buffer was created (monotonic clock).
+    """
+
+    enabled = True
+    path = None
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._epoch = time.perf_counter()
+        self.wall_start = datetime.now(timezone.utc).isoformat()
+        #: Buffered event records (the same dict shape
+        #: :meth:`EventJournal.emit` writes as JSON lines).
+        self.events: List[Dict] = []
+
+    def emit(self, event: str, **fields) -> int:
+        """Buffer one event; returns its sequence id."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            record = {
+                "seq": seq,
+                "ts": round(time.perf_counter() - self._epoch, 6),
+                "event": event,
+            }
+            record.update(fields)
+            self.events.append(record)
+        return seq
+
+    @property
+    def events_written(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "BufferJournal":
         return self
 
     def __exit__(self, *exc) -> None:

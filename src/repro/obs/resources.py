@@ -1,0 +1,164 @@
+"""Per-process resource profiling: CPU time, RSS, GC activity.
+
+The serving layer runs real work in shard worker *processes*
+(:mod:`repro.serving.sharded`), so wall-clock timers in the parent say
+nothing about where compute actually burned.  This module samples the
+only three resource axes the stdlib can answer portably —
+
+* **CPU time** — ``resource.getrusage(RUSAGE_SELF)`` user/system
+  seconds (``os.times()`` when the ``resource`` module is unavailable,
+  e.g. Windows);
+* **peak RSS** — ``ru_maxrss``, normalized to kilobytes (Linux reports
+  KB, macOS bytes);
+* **GC pressure** — cumulative collections / collected / uncollectable
+  objects summed over the generations of ``gc.get_stats()``.
+
+and exports them as ``proc.*`` gauges.  Samples are *cumulative
+process totals*; :func:`resource_delta` turns two samples into a
+per-interval reading (CPU and GC as differences, peak RSS kept at the
+later sample's level) — that is what shard workers ship per prefetch
+batch, because a persistent pool process serves many batches and only
+the delta is attributable to one of them.
+
+Everything is opt-in and allocation-light: nothing here runs unless a
+caller samples explicitly, and :func:`export_resources` is a no-op on
+the disabled registry.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+try:  # pragma: no cover - always present on POSIX (the CI platforms)
+    import resource as _resource
+except ImportError:  # pragma: no cover - Windows
+    _resource = None
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "ResourceSample",
+    "sample_resources",
+    "resource_delta",
+    "export_resources",
+    "PROC_GAUGES",
+]
+
+#: The gauge families :func:`export_resources` writes.
+PROC_GAUGES = (
+    "proc.cpu.user_seconds",
+    "proc.cpu.system_seconds",
+    "proc.rss.max_kb",
+    "proc.gc.collections",
+    "proc.gc.collected",
+    "proc.gc.uncollectable",
+)
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time (or per-interval) resource reading."""
+
+    cpu_user_s: float
+    cpu_system_s: float
+    max_rss_kb: float
+    gc_collections: int
+    gc_collected: int
+    gc_uncollectable: int
+    pid: int
+
+    def as_fields(self) -> Dict[str, object]:
+        """JSON-safe field dict (for journal events)."""
+        fields = asdict(self)
+        fields["cpu_user_s"] = round(self.cpu_user_s, 6)
+        fields["cpu_system_s"] = round(self.cpu_system_s, 6)
+        fields["max_rss_kb"] = round(self.max_rss_kb, 3)
+        return fields
+
+
+def _gc_totals() -> Dict[str, int]:
+    totals = {"collections": 0, "collected": 0, "uncollectable": 0}
+    get_stats = getattr(gc, "get_stats", None)
+    if get_stats is None:  # pragma: no cover - non-CPython
+        return totals
+    for generation in get_stats():
+        for key in totals:
+            totals[key] += int(generation.get(key, 0))
+    return totals
+
+
+def sample_resources() -> ResourceSample:
+    """Cumulative resource totals for the calling process."""
+    if _resource is not None:
+        ru = _resource.getrusage(_resource.RUSAGE_SELF)
+        cpu_user, cpu_system = float(ru.ru_utime), float(ru.ru_stime)
+        max_rss_kb = float(ru.ru_maxrss)
+        if sys.platform == "darwin":  # pragma: no cover - macOS: bytes
+            max_rss_kb /= 1024.0
+    else:  # pragma: no cover - Windows fallback
+        times = os.times()
+        cpu_user, cpu_system = float(times.user), float(times.system)
+        max_rss_kb = 0.0
+    totals = _gc_totals()
+    return ResourceSample(
+        cpu_user_s=cpu_user,
+        cpu_system_s=cpu_system,
+        max_rss_kb=max_rss_kb,
+        gc_collections=totals["collections"],
+        gc_collected=totals["collected"],
+        gc_uncollectable=totals["uncollectable"],
+        pid=os.getpid(),
+    )
+
+
+def resource_delta(
+    cur: ResourceSample, prev: ResourceSample
+) -> ResourceSample:
+    """The resources consumed between two samples of one process.
+
+    CPU and GC counters subtract (clamped at zero — ``os.times`` can
+    lose precision); peak RSS is a high-water mark, so the later
+    sample's level is kept as-is.
+    """
+    return ResourceSample(
+        cpu_user_s=max(0.0, cur.cpu_user_s - prev.cpu_user_s),
+        cpu_system_s=max(0.0, cur.cpu_system_s - prev.cpu_system_s),
+        max_rss_kb=cur.max_rss_kb,
+        gc_collections=max(0, cur.gc_collections - prev.gc_collections),
+        gc_collected=max(0, cur.gc_collected - prev.gc_collected),
+        gc_uncollectable=max(
+            0, cur.gc_uncollectable - prev.gc_uncollectable
+        ),
+        pid=cur.pid,
+    )
+
+
+def export_resources(
+    registry: MetricsRegistry, sample: ResourceSample, **labels
+) -> None:
+    """Set the ``proc.*`` gauges from one sample (no-op when the
+    registry is disabled).
+
+    The serving layer labels parent-process samples ``shard="parent"``
+    and leaves worker samples unlabeled — the snapshot merge
+    (:mod:`repro.obs.crossproc`) stamps ``shard=N`` on them, so the
+    ``proc.*`` families end up with one series per process either way.
+    """
+    if not registry.enabled:
+        return
+    registry.gauge("proc.cpu.user_seconds", **labels).set(sample.cpu_user_s)
+    registry.gauge("proc.cpu.system_seconds", **labels).set(
+        sample.cpu_system_s
+    )
+    registry.gauge("proc.rss.max_kb", **labels).set(sample.max_rss_kb)
+    registry.gauge("proc.gc.collections", **labels).set(
+        sample.gc_collections
+    )
+    registry.gauge("proc.gc.collected", **labels).set(sample.gc_collected)
+    registry.gauge("proc.gc.uncollectable", **labels).set(
+        sample.gc_uncollectable
+    )

@@ -18,6 +18,10 @@ handed to it.
   * ``/alerts.json`` — the SLO engine's rules, active alerts and
     alert history (:mod:`repro.obs.slo`; an empty document when no
     engine is attached);
+  * ``/shards.json`` — per-shard / per-tenant rollups of every
+    ``shard=`` / ``tenant=`` labelled series
+    (:func:`~repro.obs.crossproc.shard_tenant_summary`), the data
+    source for the shards/tenants panes of ``repro top``;
   * ``/healthz`` — liveness probe.
 
   Unknown paths get a JSON 404 body (``{"error": "not found", ...}``)
@@ -40,6 +44,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from .crossproc import shard_tenant_summary
 from .export import to_prometheus, write_metrics
 from .registry import MetricsRegistry
 from .slo import NULL_SLO_ENGINE
@@ -112,6 +117,11 @@ class _MetricsHandler(BaseHTTPRequestHandler):
             slo = getattr(self.server, "slo", None) or NULL_SLO_ENGINE
             body = json.dumps(slo.as_json(), sort_keys=True).encode("utf-8")
             self._send(200, "application/json", body)
+        elif path == "/shards.json":
+            body = json.dumps(
+                shard_tenant_summary(registry), sort_keys=True
+            ).encode("utf-8")
+            self._send(200, "application/json", body)
         elif path in ("/", "/healthz"):
             self._send(200, "text/plain; charset=utf-8", b"ok\n")
         else:
@@ -121,7 +131,7 @@ class _MetricsHandler(BaseHTTPRequestHandler):
                     "path": path,
                     "endpoints": [
                         "/metrics", "/series.json", "/alerts.json",
-                        "/healthz",
+                        "/shards.json", "/healthz",
                     ],
                 }
             ).encode("utf-8") + b"\n"

@@ -79,6 +79,11 @@ class _HistogramState:
     sum: float
     bounds: Tuple[float, ...]
     bucket_counts: Tuple[int, ...]
+    #: Observation extrema (the instrument's sentinels ±inf when no
+    #: observation landed yet) — carried so the cross-process snapshot
+    #: merge (:mod:`repro.obs.crossproc`) can pool them losslessly.
+    min: float = float("inf")
+    max: float = float("-inf")
 
 
 @dataclass(frozen=True)
@@ -114,6 +119,8 @@ def take_snapshot(registry: MetricsRegistry) -> RegistrySnapshot:
                     sum=inst.sum,
                     bounds=tuple(inst.bounds),
                     bucket_counts=tuple(inst.bucket_counts),
+                    min=inst.min,
+                    max=inst.max,
                 )
             histograms[key] = state
             if isinstance(inst, Timer):

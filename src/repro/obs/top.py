@@ -59,6 +59,15 @@ class TopState:
     #: ``value``, ``threshold``, ``resolved_window``), open alerts
     #: having ``resolved_window`` None.
     alerts: List[Dict] = field(default_factory=list)
+    #: Per-shard rollups (shard id -> short-key dict: ``windows``,
+    #: ``tuples``, ``bytes``, ``cpu_s``, ``rss_kb``) from
+    #: ``shard.prefetch`` / ``shard.worker.resources`` events or the
+    #: ``/shards.json`` endpoint.  The parent process appears as
+    #: shard ``"parent"``.
+    shards: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-tenant rollups (``windows``, ``bytes``, ``mean_error``,
+    #: ``over_budget``).
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
     finished: bool = False
 
     @property
@@ -140,6 +149,38 @@ def state_from_journal(events: List[Dict], source: str) -> TopState:
                 if alert["rule"] == rule and alert["resolved_window"] is None:
                     alert["resolved_window"] = ev.get("window")
                     break
+        elif kind == "shard.prefetch":
+            entry = state.shards.setdefault(str(ev.get("shard")), {})
+            for key, src in (
+                ("windows", "windows"),
+                ("tuples", "tuples"),
+                ("bytes", "payload_bytes"),
+            ):
+                value = ev.get(src)
+                if value is not None:
+                    entry[key] = entry.get(key, 0) + value
+        elif kind == "shard.worker.resources":
+            entry = state.shards.setdefault(str(ev.get("shard")), {})
+            cpu = float(ev.get("cpu_user_s", 0.0)) + float(
+                ev.get("cpu_system_s", 0.0)
+            )
+            entry["cpu_s"] = entry.get("cpu_s", 0.0) + cpu
+            entry["rss_kb"] = max(
+                entry.get("rss_kb", 0.0), float(ev.get("max_rss_kb", 0.0))
+            )
+        elif kind == "tenant.report":
+            entry = state.tenants.setdefault(str(ev.get("tenant")), {})
+            for key, src in (
+                ("windows", "windows"),
+                ("bytes", "bytes_used"),
+            ):
+                value = ev.get(src)
+                if value is not None:
+                    entry[key] = entry.get(key, 0) + value
+            if ev.get("mean_error") is not None:
+                entry["mean_error"] = float(ev["mean_error"])
+            if ev.get("over_budget"):
+                entry["over_budget"] = entry.get("over_budget", 0) + 1
         elif kind == "run_end":
             state.finished = True
     return state
@@ -195,14 +236,55 @@ def state_from_series(records: List[Dict], source: str) -> TopState:
     return state
 
 
+def _fold_shard_summary(state: TopState, doc: Dict) -> None:
+    """Normalize a ``/shards.json`` document (full metric names per
+    shard/tenant) into the dashboard's short-key rollups.  Values are
+    registry totals, so they replace rather than accumulate."""
+    for shard, series in doc.get("shards", {}).items():
+        entry = state.shards.setdefault(str(shard), {})
+        for key, src in (
+            ("windows", "serving.shard.windows"),
+            ("tuples", "serving.shard.tuples"),
+            ("bytes", "serving.shard.payload_bytes"),
+        ):
+            if src in series:
+                entry[key] = series[src]
+        cpu = series.get("serving.shard.cpu_seconds")
+        if cpu is None and (
+            "proc.cpu.user_seconds" in series
+            or "proc.cpu.system_seconds" in series
+        ):
+            cpu = series.get("proc.cpu.user_seconds", 0.0) + series.get(
+                "proc.cpu.system_seconds", 0.0
+            )
+        if cpu is not None:
+            entry["cpu_s"] = cpu
+        rss = series.get(
+            "serving.shard.max_rss_kb", series.get("proc.rss.max_kb")
+        )
+        if rss is not None:
+            entry["rss_kb"] = rss
+    for tenant, series in doc.get("tenants", {}).items():
+        entry = state.tenants.setdefault(str(tenant), {})
+        for key, src in (
+            ("windows", "serving.tenant.windows"),
+            ("bytes", "serving.tenant.bytes"),
+            ("mean_error", "serving.tenant.mean_error"),
+            ("over_budget", "serving.tenant.over_budget"),
+        ):
+            if src in series:
+                entry[key] = series[src]
+
+
 class TopSource:
     """Stateful poller behind the ``repro top`` refresh loop.
 
     URL mode fetches ``/series.json?since=N`` (``N`` = records already
     held) so each window record crosses the wire exactly once, then
-    polls ``/alerts.json`` best-effort for the alert pane.  Journal
-    mode re-reads the file leniently each poll — the page cache makes
-    that cheap and the lenient parser already tolerates the live tail.
+    polls ``/alerts.json`` and ``/shards.json`` best-effort for the
+    alert and shards/tenants panes.  Journal mode re-reads the file
+    leniently each poll — the page cache makes that cheap and the
+    lenient parser already tolerates the live tail.
     """
 
     def __init__(self, source: str, timeout: float = 5.0) -> None:
@@ -231,6 +313,14 @@ class TopSource:
             state.alerts = list(doc.get("alerts", []))
         except Exception:
             pass  # pre-SLO server — the alert pane just stays empty
+        try:
+            with urllib.request.urlopen(
+                f"{base}/shards.json", timeout=self.timeout
+            ) as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+            _fold_shard_summary(state, doc)
+        except Exception:
+            pass  # pre-sharding server — the shards pane stays empty
         return state
 
 
@@ -272,6 +362,39 @@ def render_top(state: TopState, max_rows: int = 12) -> str:
             for key, value in sorted(state.counters.items())
         ]
         out.append("faults/installs: " + "  ".join(parts))
+    if state.shards:
+        out.append(
+            f"shards: {'shard':>8} {'windows':>8} {'tuples':>10} "
+            f"{'bytes':>10} {'cpu(s)':>8} {'rss(MB)':>8}"
+        )
+        # Numeric shard ids first (in order), then "parent" and any
+        # other named processes.
+        def _shard_order(item):
+            key = item[0]
+            return (0, int(key), key) if key.isdigit() else (1, 0, key)
+        for shard, e in sorted(state.shards.items(), key=_shard_order):
+            rss = e.get("rss_kb")
+            out.append(
+                f"        {shard:>8}"
+                f" {_fmt(e.get('windows'), '.0f', 8)}"
+                f" {_fmt(e.get('tuples'), '.0f', 10)}"
+                f" {_fmt(e.get('bytes'), '.0f', 10)}"
+                f" {_fmt(e.get('cpu_s'), '.2f', 8)}"
+                f" {_fmt(rss / 1024.0 if rss is not None else None, '.1f', 8)}"
+            )
+    if state.tenants:
+        out.append(
+            f"tenants: {'tenant':>10} {'windows':>8} {'bytes':>10} "
+            f"{'mean err':>10} {'over':>5}"
+        )
+        for tenant, e in sorted(state.tenants.items()):
+            out.append(
+                f"         {tenant:>10}"
+                f" {_fmt(e.get('windows'), '.0f', 8)}"
+                f" {_fmt(e.get('bytes'), '.0f', 10)}"
+                f" {_fmt(e.get('mean_error'), '.4g', 10)}"
+                f" {_fmt(e.get('over_budget'), '.0f', 5)}"
+            )
     if state.alerts:
         active = state.active_alerts
         out.append(

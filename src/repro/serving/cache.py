@@ -66,6 +66,11 @@ class SharedServingCache:
         self.function_misses = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.table_hits = 0
+        self.table_misses = 0
+        #: Counter values already published via :meth:`publish_metrics`
+        #: (counters are monotonic, so only the delta is emitted).
+        self._published: Dict[str, int] = {}
 
     # -- canonical tables ---------------------------------------------------
     def canonical_table(self, table: GroupTable) -> GroupTable:
@@ -73,7 +78,14 @@ class SharedServingCache:
 
         Build tenant systems against the returned instance so the
         identity-keyed compiled caches are shared fleet-wide."""
-        return self._tables.setdefault(table.fingerprint(), table)
+        fp = table.fingerprint()
+        canonical = self._tables.get(fp)
+        if canonical is None:
+            self.table_misses += 1
+            self._tables[fp] = table
+            return table
+        self.table_hits += 1
+        return canonical
 
     # -- finished functions -------------------------------------------------
     def get_function(
@@ -122,10 +134,37 @@ class SharedServingCache:
             "function_misses": self.function_misses,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "table_hits": self.table_hits,
+            "table_misses": self.table_misses,
             "functions": len(self._functions),
             "memos": len(self._memos),
             "tables": len(self._tables),
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Export hit/miss totals as ``serving.cache.*`` counters.
+
+        Idempotent across calls: only the delta since the last publish
+        is added, so an engine serving several windows (or several
+        engines sharing one cache) can publish after every run without
+        inflating the counters.  No-op on a disabled registry — the
+        deltas stay pending until a live one is scoped.
+        """
+        if not registry.enabled:
+            return
+        values = {
+            "serving.cache.function.hits": self.function_hits,
+            "serving.cache.function.misses": self.function_misses,
+            "serving.cache.memo.hits": self.memo_hits,
+            "serving.cache.memo.misses": self.memo_misses,
+            "serving.cache.table.hits": self.table_hits,
+            "serving.cache.table.misses": self.table_misses,
+        }
+        for name, total in values.items():
+            delta = total - self._published.get(name, 0)
+            if delta:
+                registry.counter(name).inc(delta)
+                self._published[name] = total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats()

@@ -36,7 +36,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import PenaltyMetric
 from ..core.groups import GroupTable
-from ..obs import get_journal, get_registry
+from ..obs import (
+    export_resources,
+    get_journal,
+    get_registry,
+    sample_resources,
+)
 from ..streams.system import MonitoringSystem, SystemReport
 from ..streams.tuples import Trace
 from .cache import SharedServingCache
@@ -312,6 +317,13 @@ class ServingEngine:
             results[spec.name] = TenantReport(
                 spec=spec, admitted=False, reason=reason
             )
+        # Fleet-level telemetry: cross-tenant cache effectiveness as
+        # serving.cache.* counters (delta-published, so multi-run
+        # engines stay monotonic) and the control plane's own resource
+        # usage next to the shard workers' proc.* series.
+        self.cache.publish_metrics(registry)
+        if registry.enabled:
+            export_resources(registry, sample_resources(), shard="parent")
         return results
 
     def close(self) -> None:

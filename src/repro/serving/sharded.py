@@ -41,6 +41,7 @@ prefetch; ``prefetch_misses`` counts the fallbacks.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -53,12 +54,20 @@ from ..core.wire import merge_views
 from ..obs import (
     NULL_JOURNAL,
     NULL_TRACER,
+    BufferJournal,
+    MetricsRegistry,
     NullRegistry,
+    capture_worker_snapshot,
+    export_resources,
     get_journal,
     get_registry,
+    merge_worker_snapshots,
+    resource_delta,
+    sample_resources,
     use_journal,
     use_registry,
     use_tracer,
+    worker_resource_events,
 )
 from ..streams.control_center import ControlCenter
 from ..streams.kernels import stream_kernel_mode, use_stream_kernel_mode
@@ -95,6 +104,10 @@ class FanInControlCenter(ControlCenter):
             # Empty, naive-mode, or v1 messages: the base behaviour is
             # already the lean one (or is the documented reference).
             return super()._merge_and_estimate(usable)
+        registry = get_registry()
+        journal = get_journal()
+        timed = registry.enabled or journal.enabled
+        start = time.perf_counter() if timed else 0.0
         nodes, sums, unmatched, total = merge_views(
             [m.histogram for m in usable]
         )
@@ -102,19 +115,46 @@ class FanInControlCenter(ControlCenter):
             nodes, sums, unmatched=unmatched, total=total
         )
         estimator = CompiledEstimator.for_pair(self.table, self.function)
-        return merged, estimator.estimate(merged)
+        estimates = estimator.estimate(merged)
+        if timed:
+            # The fan-in merge is the serving layer's per-window hot
+            # spot; surface it as a timer plus a journal slice (the
+            # Chrome trace exporter renders `shard.fanin` events on the
+            # control-center track).
+            duration = time.perf_counter() - start
+            window = usable[0].window_index
+            if registry.enabled:
+                registry.timer("serving.fanin.duration").observe(duration)
+                registry.counter("serving.fanin.payloads").inc(len(usable))
+            if journal.enabled:
+                journal.emit(
+                    "shard.fanin",
+                    window=window,
+                    payloads=len(usable),
+                    duration_us=round(duration * 1e6, 1),
+                )
+        return merged, estimates
 
 
 def _shard_worker(task):
     """Build all of one shard's (monitor, window) histograms.
 
-    Runs in a worker process: observability is nulled (the parent owns
-    metrics and the journal; worker Monitor objects are throwaway) and
-    the parent's stream kernel mode is pinned explicitly so a ``spawn``
-    start method cannot drift from the serial build. Returns pickled
+    Runs in a worker process with the parent's stream kernel mode
+    pinned explicitly so a ``spawn`` start method cannot drift from
+    the serial build.  Returns pickled
     :class:`~repro.streams.monitor.HistogramMessage` lists — histogram
     arrays are fresh bincount outputs, never views into the shared
     segments.
+
+    Observability is nulled by default (worker Monitor objects are
+    throwaway; the parent owns metrics and the journal).  When the
+    parent requests telemetry (``task[-1]`` is a ``(metrics_on, seq)``
+    pair) the worker instead runs a **real local**
+    :class:`~repro.obs.MetricsRegistry` and an in-memory
+    :class:`~repro.obs.BufferJournal`, samples its own CPU/RSS/GC
+    delta around the batch, and ships one
+    :func:`~repro.obs.capture_worker_snapshot` wire dict back with the
+    results for the parent to merge under a ``shard=N`` label.
     """
     (
         shard_id,
@@ -125,6 +165,7 @@ def _shard_worker(task):
         function,
         version,
         monitor_jobs,
+        telemetry,
     ) = task
     shm = shared_memory.SharedMemory(name=shm_name)
     vshm = (
@@ -132,6 +173,13 @@ def _shard_worker(task):
         if values_shm_name is not None
         else None
     )
+    if telemetry is not None:
+        metrics_on, seq = telemetry
+        registry = MetricsRegistry() if metrics_on else NullRegistry()
+        buffer = BufferJournal()
+    else:
+        registry = NullRegistry()
+        buffer = NULL_JOURNAL
 
     def build_all():
         # Scoped so every view into the shared segments is dropped when
@@ -146,6 +194,7 @@ def _shard_worker(task):
         )
         results = []
         for name, wins in monitor_jobs:
+            batch_start = time.perf_counter()
             monitor = Monitor(name, wire_format="v2")
             monitor.install_function(function, version)
             indices = [w for (w, _off, _n, _hv) in wins]
@@ -166,14 +215,34 @@ def _shard_worker(task):
                 ]
             else:
                 messages = monitor.process_windows(indices, arrays)
+            if buffer.enabled:
+                buffer.emit(
+                    "batch",
+                    monitor=name,
+                    windows=len(messages),
+                    tuples=sum(n for (_w, _o, n, _hv) in wins),
+                    payload_bytes=sum(len(m.payload) for m in messages),
+                    duration_us=round(
+                        (time.perf_counter() - batch_start) * 1e6, 1
+                    ),
+                )
             results.append(_pack_messages(name, messages))
         return results
 
     try:
-        with use_registry(NullRegistry()), use_journal(NULL_JOURNAL), \
+        before = sample_resources() if telemetry is not None else None
+        with use_registry(registry), use_journal(buffer), \
                 use_tracer(NULL_TRACER), use_stream_kernel_mode(mode):
             results = build_all()
-        return shard_id, results
+        snapshot = None
+        if telemetry is not None:
+            usage = resource_delta(sample_resources(), before)
+            export_resources(registry, usage)
+            buffer.emit("resources", **usage.as_fields())
+            snapshot = capture_worker_snapshot(
+                registry, buffer, shard_id, seq
+            )
+        return shard_id, results, snapshot
     finally:
         shm.close()
         if vshm is not None:
@@ -272,6 +341,17 @@ class ShardedMonitoringSystem(MonitoringSystem):
         Optional tenant label stamped on ``serving.shard.*`` metrics
         and ``shard.prefetch`` journal events (the
         :class:`~.engine.ServingEngine` sets it).
+    worker_telemetry:
+        When true (the default) **and** a live registry or journal is
+        scoped in the parent at prefetch time, shard workers run a real
+        local :class:`~repro.obs.MetricsRegistry` plus an in-memory
+        :class:`~repro.obs.BufferJournal` and ship a
+        :mod:`repro.obs.crossproc` snapshot back with the results; the
+        parent merges the metrics under ``shard=N`` labels and
+        re-sequences the events as ``shard.worker.*`` in deterministic
+        ``(shard, seq)`` order.  With observability disabled (or this
+        flag off) workers run fully nulled and nothing changes on the
+        wire — reports and journals stay byte-identical.
     """
 
     control_center_class = FanInControlCenter
@@ -284,6 +364,7 @@ class ShardedMonitoringSystem(MonitoringSystem):
         shards: int = 2,
         tenant: Optional[str] = None,
         wire_format: str = "v2",
+        worker_telemetry: bool = True,
         **kwargs,
     ) -> None:
         if shards < 1:
@@ -316,6 +397,25 @@ class ShardedMonitoringSystem(MonitoringSystem):
         self._truth_sizes: Dict[int, int] = {}
         self.prefetch_hits = 0
         self.prefetch_misses = 0
+        self.worker_telemetry = worker_telemetry
+        #: Monotonic snapshot sequence: one per prefetch pass, shared
+        #: by every shard in that pass (the merge orders by
+        #: ``(shard, seq)``, so within one pass shards disambiguate).
+        self._telemetry_seq = 0
+        #: True while worker ``monitor.*`` metrics for the current run
+        #: were merged into the parent registry — prefetch hits then
+        #: replay accounting with ``metrics=False`` so nothing is
+        #: counted twice.
+        self._worker_metrics_merged = False
+        #: shard id -> accumulated worker resource usage, summarized
+        #: (gauges + ``shard.summary`` events) at :meth:`close`.
+        self._shard_resources: Dict[int, Dict[str, float]] = {}
+        #: Per-window prefetch hit/miss tallies and shard imbalance
+        #: (max/mean prefetch tuples across shards), feeding the
+        #: ``prefetch_miss_rate`` / ``shard_imbalance`` SLO signals.
+        self._window_hits: Dict[int, int] = {}
+        self._window_misses: Dict[int, int] = {}
+        self._window_imbalance: Dict[int, float] = {}
 
     # -- worker pool --------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -325,10 +425,43 @@ class ShardedMonitoringSystem(MonitoringSystem):
 
     def close(self) -> None:
         """Shut the shard worker pool down (idempotent).  The system
-        remains usable — the next run re-forks the pool."""
+        remains usable — the next run re-forks the pool.  Accumulated
+        per-shard worker resource usage is summarized first (so the
+        summaries land while the caller's registry/journal scope is
+        still live)."""
+        self._export_shard_summaries()
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def _export_shard_summaries(self) -> None:
+        """Flush per-shard resource totals as ``serving.shard.*``
+        gauges and ``shard.summary`` journal events, then reset."""
+        usage, self._shard_resources = self._shard_resources, {}
+        if not usage:
+            return
+        registry = get_registry()
+        journal = get_journal()
+        labels = {"tenant": self.tenant} if self.tenant else {}
+        for shard in sorted(usage):
+            summary = usage[shard]
+            cpu_s = round(summary["cpu_s"], 6)
+            if registry.enabled:
+                registry.gauge(
+                    "serving.shard.cpu_seconds", shard=str(shard), **labels
+                ).set(cpu_s)
+                registry.gauge(
+                    "serving.shard.max_rss_kb", shard=str(shard), **labels
+                ).set(summary["max_rss_kb"])
+            if journal.enabled:
+                journal.emit(
+                    "shard.summary",
+                    shard=shard,
+                    tenant=self.tenant or "",
+                    batches=int(summary["batches"]),
+                    cpu_s=cpu_s,
+                    max_rss_kb=round(summary["max_rss_kb"], 3),
+                )
 
     def __enter__(self) -> "ShardedMonitoringSystem":
         return self
@@ -442,6 +575,14 @@ class ShardedMonitoringSystem(MonitoringSystem):
                     wins.append((win.index, offset, n, win_has_values))
                     offset += n
                 shard_jobs[i % self.shards].append((monitor.name, wins))
+            registry = get_registry()
+            journal = get_journal()
+            telemetry = None
+            if self.worker_telemetry and (
+                registry.enabled or journal.enabled
+            ):
+                self._telemetry_seq += 1
+                telemetry = (registry.enabled, self._telemetry_seq)
             tasks = [
                 (
                     shard,
@@ -452,13 +593,17 @@ class ShardedMonitoringSystem(MonitoringSystem):
                     cc.function,
                     cc.function_version,
                     jobs,
+                    telemetry,
                 )
                 for shard, jobs in enumerate(shard_jobs)
                 if jobs
             ]
             shard_bytes = [0] * self.shards
+            snapshots = []
             pool = self._ensure_pool()
-            for shard, results in pool.map(_shard_worker, tasks):
+            for shard, results, snapshot in pool.map(_shard_worker, tasks):
+                if snapshot is not None:
+                    snapshots.append(snapshot)
                 for packed in results:
                     name, messages = _unpack_messages(
                         packed, cc.function_version
@@ -473,8 +618,7 @@ class ShardedMonitoringSystem(MonitoringSystem):
             if vshm is not None:
                 vshm.close()
                 vshm.unlink()
-        registry = get_registry()
-        journal = get_journal()
+        self._record_imbalance(shard_jobs)
         labels = {"tenant": self.tenant} if self.tenant else {}
         for shard, jobs in enumerate(shard_jobs):
             if not jobs:
@@ -501,6 +645,45 @@ class ShardedMonitoringSystem(MonitoringSystem):
                     tuples=tuples,
                     payload_bytes=shard_bytes[shard],
                 )
+        if snapshots:
+            # Deterministic fan-in: metrics merge under shard=N labels,
+            # worker events re-sequence as shard.worker.* in
+            # (shard, seq) order.  Resource deltas accumulate for the
+            # close()-time per-shard summaries.
+            merge_worker_snapshots(registry, journal, snapshots)
+            if registry.enabled:
+                self._worker_metrics_merged = True
+            for doc in snapshots:
+                shard = int(doc["shard"])
+                for rec in worker_resource_events(doc):
+                    entry = self._shard_resources.setdefault(
+                        shard,
+                        {"cpu_s": 0.0, "max_rss_kb": 0.0, "batches": 0},
+                    )
+                    entry["cpu_s"] += float(rec.get("cpu_user_s", 0.0))
+                    entry["cpu_s"] += float(rec.get("cpu_system_s", 0.0))
+                    entry["max_rss_kb"] = max(
+                        entry["max_rss_kb"],
+                        float(rec.get("max_rss_kb", 0.0)),
+                    )
+                    entry["batches"] += 1
+
+    def _record_imbalance(self, shard_jobs: List[list]) -> None:
+        """Per-window shard imbalance: max/mean prefetch tuples across
+        the configured shards (1.0 = perfectly balanced; idle shards
+        count, because they are provisioned capacity)."""
+        per_window: Dict[int, List[float]] = {}
+        for shard, jobs in enumerate(shard_jobs):
+            for _name, wins in jobs:
+                for (w, _off, n, _hv) in wins:
+                    per_window.setdefault(
+                        w, [0.0] * self.shards
+                    )[shard] += n
+        for w, tuples in per_window.items():
+            mean = sum(tuples) / len(tuples)
+            self._window_imbalance[w] = (
+                max(tuples) / mean if mean > 0 else 0.0
+            )
 
     # -- base-loop hooks ----------------------------------------------------
     def _partition_jobs(self, pool, jobs):
@@ -508,6 +691,7 @@ class ShardedMonitoringSystem(MonitoringSystem):
         if not prefetched:
             return super()._partition_jobs(pool, jobs)
         messages = []
+        hits = misses = 0
         for monitor, window, _plan in jobs:
             msg = prefetched.get((monitor.name, window.index))
             if (
@@ -517,6 +701,7 @@ class ShardedMonitoringSystem(MonitoringSystem):
                 # Not prefetched (or built against a superseded
                 # function): fall back to the inline serial build.
                 self.prefetch_misses += 1
+                misses += 1
                 messages.append(
                     monitor.process_window(
                         window.index, window.uids, values=window.values
@@ -524,12 +709,59 @@ class ShardedMonitoringSystem(MonitoringSystem):
                 )
                 continue
             self.prefetch_hits += 1
+            hits += 1
             # The worker's throwaway Monitor absorbed the per-window
             # accounting; replay it on the real one so lifetime stats
-            # and monitor.* metrics match the serial run.
-            monitor._account(1, len(window), (msg.histogram,))
+            # match the serial run.  When the worker's own registry was
+            # merged (telemetry on) the monitor.* metrics already exist
+            # under shard=N labels, so skip them here — otherwise every
+            # hit window would be counted twice.
+            monitor._account(
+                1,
+                len(window),
+                (msg.histogram,),
+                metrics=not self._worker_metrics_merged,
+            )
             messages.append(msg)
+        if jobs:
+            w = int(jobs[0][1].index)
+            self._window_hits[w] = self._window_hits.get(w, 0) + hits
+            self._window_misses[w] = (
+                self._window_misses.get(w, 0) + misses
+            )
+            registry = get_registry()
+            if registry.enabled:
+                labels = {"tenant": self.tenant} if self.tenant else {}
+                if hits:
+                    registry.counter(
+                        "serving.prefetch.hits", **labels
+                    ).inc(hits)
+                if misses:
+                    registry.counter(
+                        "serving.prefetch.misses", **labels
+                    ).inc(misses)
+                total = hits + misses
+                registry.gauge(
+                    "serving.prefetch.miss_rate", **labels
+                ).set(misses / total if total else 0.0)
+                imbalance = self._window_imbalance.get(w)
+                if imbalance is not None:
+                    registry.gauge(
+                        "serving.shard.imbalance", **labels
+                    ).set(round(imbalance, 6))
         return messages
+
+    def _window_signals(self, window: int) -> Dict[str, float]:
+        signals = super()._window_signals(window)
+        hits = self._window_hits.get(window, 0)
+        misses = self._window_misses.get(window, 0)
+        total = hits + misses
+        if total:
+            signals["prefetch_miss_rate"] = misses / total
+        imbalance = self._window_imbalance.get(window)
+        if imbalance is not None:
+            signals["shard_imbalance"] = imbalance
+        return signals
 
     def _ground_truth(self, window, uids, values):
         row = self._truth.get(window)
@@ -549,12 +781,24 @@ class ShardedMonitoringSystem(MonitoringSystem):
         self._truth = {}
         self._truth_sizes = {}
         self._segmented_cache = None
+        self._worker_metrics_merged = False
+        self._window_hits = {}
+        self._window_misses = {}
+        self._window_imbalance = {}
         if self.control_center.function is not None:
             # Untrained systems skip straight to the base loop's
             # "call train() before run()" error.
             self._prefetch(live, window_width, split_seed)
         try:
-            return super().run(live, window_width, split_seed, faults)
+            report = super().run(live, window_width, split_seed, faults)
+            registry = get_registry()
+            if registry.enabled:
+                # Parent-process counterpart of the worker proc.*
+                # series: cumulative totals under shard="parent".
+                export_resources(
+                    registry, sample_resources(), shard="parent"
+                )
+            return report
         finally:
             # Per-run caches can pin the whole live trace; drop them.
             self._segmented_cache = None

@@ -125,9 +125,19 @@ class Monitor:
             payload=payload,
         )
 
-    def _account(self, windows: int, tuples: int, histograms) -> None:
+    def _account(
+        self, windows: int, tuples: int, histograms, metrics: bool = True
+    ) -> None:
+        """Fold a batch into the lifetime stats and ``monitor.*``
+        metrics.  ``metrics=False`` updates only the stats — the
+        sharded serving layer passes it when replaying a prefetched
+        build whose metrics were already recorded by the worker's own
+        registry (and merged under a ``shard=`` label), so hit windows
+        are never double-counted."""
         self.windows_processed += windows
         self.tuples_processed += tuples
+        if not metrics:
+            return
         registry = get_registry()
         if registry.enabled:
             registry.counter("monitor.windows", monitor=self.name).inc(

@@ -308,6 +308,14 @@ class MonitoringSystem:
         """Hook run after each decoded window (subclass extension
         point: drift detection, recalibration, ...)."""
 
+    def _window_signals(self, window: int) -> Dict[str, float]:
+        """Extra named signals merged into the SLO engine's per-window
+        observation (subclass extension point: the sharded serving
+        layer contributes ``prefetch_miss_rate`` and
+        ``shard_imbalance``).  Keys here shadow same-named
+        :class:`WindowReport` fields, so pick fresh names."""
+        return {}
+
     def _run_windows(
         self,
         live: Trace,
@@ -567,6 +575,7 @@ class MonitoringSystem:
                             signals["delivery_p99_windows"] = quantile(
                                 ages, 0.99
                             )
+                        signals.update(self._window_signals(w))
                         slo.observe(w, signals)
             report.expired_messages = sum(
                 len(v) for v in in_flight.values()

@@ -451,3 +451,125 @@ def test_no_worker_processes_leak(workload):
     assert len(multiprocessing.active_children()) >= 1
     sharded.close()
     assert multiprocessing.active_children() == []
+
+
+# -- cross-process telemetry satellites -----------------------------------
+
+class TestServingTelemetry:
+    def test_prefetch_miss_counter_fires_slo_mid_run(self, workload):
+        """Forced function-version mismatches must surface as
+        per-window serving.prefetch.misses deltas and fire a
+        prefetch_miss_rate SLO rule *during* the run."""
+        from repro.obs import SLOEngine, parse_slo_spec, use_slo_engine
+
+        table, history, live = workload
+        serial, sharded = _systems(table, history, 2)
+        expected = serial.run(live, window_width=4.0)
+        original = sharded._prefetch
+
+        def poisoned(live, width, seed):
+            original(live, width, seed)
+            for key in list(sharded._prefetched)[:3]:
+                message = sharded._prefetched[key]
+                sharded._prefetched[key] = dataclasses.replace(
+                    message, function_version=message.function_version - 1
+                )
+
+        sharded._prefetch = poisoned
+        registry = MetricsRegistry()
+        engine = SLOEngine(parse_slo_spec("prefetch_miss_rate<=0"))
+        with use_registry(registry), use_slo_engine(engine), sharded:
+            actual = sharded.run(live, window_width=4.0)
+        # Quality-gauge fields only populate with a live registry, so
+        # compare the registry-independent accounting.
+        assert [
+            (w.window_index, w.tuples, w.error, w.histogram_bytes)
+            for w in actual.windows
+        ] == [
+            (w.window_index, w.tuples, w.error, w.histogram_bytes)
+            for w in expected.windows
+        ]
+        assert sharded.prefetch_misses == 3
+        misses = registry.get("counter", "serving.prefetch.misses")
+        assert misses is not None and misses.value == 3
+        # The counter moved inside specific windows: the per-window
+        # snapshot-delta series carries the deltas.
+        per_window = [
+            rec["counters"].get("serving.prefetch.misses", 0)
+            for rec in registry.window_series
+        ]
+        assert sum(per_window) == 3
+        assert any(delta == 0 for delta in per_window)
+        # ... and the SLO rule fired mid-run on the miss-rate signal.
+        assert actual.alerts
+        assert all(
+            a.rule.startswith("prefetch_miss_rate") for a in actual.alerts
+        )
+        fired = {a.fired_window for a in actual.alerts}
+        assert fired <= {
+            w for w, delta in enumerate(per_window) if delta > 0
+        }
+
+    def test_cache_counters_exported(self, workload):
+        """serving.cache.* counters must reflect SharedServingCache
+        hits/misses, including the new canonical-table tracking."""
+        table, history, live = workload
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = SharedServingCache()
+            with ServingEngine(
+                table, get_metric("rms"),
+                "alpha:budget=40;beta:budget=40",
+                cache=cache, num_monitors=2,
+            ) as engine:
+                engine.run(history, live, window_width=4.0)
+        stats = cache.stats()
+        # Identical tenants: the second shares the first one's table
+        # and finished function.
+        assert stats["table_misses"] == 1
+        assert stats["function_hits"] >= 1
+        for name, key in [
+            ("serving.cache.table.misses", "table_misses"),
+            ("serving.cache.function.hits", "function_hits"),
+            ("serving.cache.function.misses", "function_misses"),
+        ]:
+            child = registry.get("counter", name)
+            assert child is not None and child.value == stats[key], name
+        # publish_metrics is delta-idempotent: republishing with no new
+        # traffic must not inflate the counters.
+        cache.publish_metrics(registry)
+        child = registry.get("counter", "serving.cache.function.hits")
+        assert child.value == stats["function_hits"]
+
+    def test_engine_run_report_identity_with_telemetry(self, workload):
+        """Reports coming out of a telemetry-on engine run must equal
+        the plain serial system's (the acceptance off/on invariant at
+        the engine level)."""
+        table, history, live = workload
+        plain = MonitoringSystem(
+            table, get_metric("rms"), num_monitors=3, budget=40
+        )
+        plain.train(history)
+        # Scope a registry on the reference run too: quality-gauge
+        # window fields only populate with one attached.
+        with use_registry(MetricsRegistry()):
+            expected = plain.run(live, window_width=4.0, split_seed=0)
+
+        registry = MetricsRegistry()
+        journal = EventJournal(io.StringIO())
+        with use_registry(registry), use_journal(journal):
+            with ServingEngine(
+                table, get_metric("rms"), "alpha:budget=40",
+                shards=2, num_monitors=3,
+            ) as engine:
+                results = engine.run(history, live, window_width=4.0)
+        assert results["alpha"].report == expected
+        # Tenant-labelled shard series + parent proc series landed.
+        child = registry.get(
+            "counter", "serving.shard.windows", shard="0", tenant="alpha"
+        )
+        assert child is not None and child.value > 0
+        assert (
+            registry.get("gauge", "proc.cpu.user_seconds", shard="parent")
+            is not None
+        )
